@@ -1,0 +1,119 @@
+// Ablations of TreeServer's design choices (not a paper table; backs
+// the claims DESIGN.md makes about each mechanism):
+//
+//   (1) hybrid BFS/DFS scheduling: τ_dfs = 0 (pure breadth-first,
+//       PLANET-style ordering) vs τ_dfs = ∞ (pure depth-first) vs the
+//       default hybrid;
+//   (2) data-channel compression (delta+varint row ids, bit-packed
+//       categorical values): traffic and wall time vs the paper's
+//       uncompressed protocol;
+//   (3) column replication factor k: assignment flexibility (traffic,
+//       time) — k >= 2 additionally buys crash tolerance.
+
+#include "bench_util.h"
+
+using namespace treeserver;        // NOLINT
+using namespace treeserver::bench;  // NOLINT
+
+namespace {
+
+struct Run {
+  double seconds = 0.0;
+  double busy = 0.0;
+  double mbytes = 0.0;
+};
+
+Run TrainWith(const PreparedData& data, EngineConfig engine, int trees) {
+  WallTimer timer;
+  TreeServerCluster cluster(data.train, engine);
+  ForestJobSpec spec;
+  spec.num_trees = trees;
+  spec.tree.max_depth = 10;
+  spec.tree.impurity = data.profile.task_kind() == TaskKind::kRegression
+                           ? Impurity::kVariance
+                           : Impurity::kGini;
+  spec.sqrt_columns = true;
+  spec.seed = 3;
+  cluster.TrainForest(spec);
+  Run run;
+  run.seconds = timer.Seconds();
+  EngineMetrics m = cluster.metrics();
+  run.busy = m.comper_busy_seconds;
+  run.mbytes = static_cast<double>(m.bytes_sent_total) / (1 << 20);
+  return run;
+}
+
+void Scheduling(const BenchOptions& options, int trees) {
+  std::printf("\n== Ablation 1: task scheduling order (%d trees) ==\n",
+              trees);
+  TablePrinter table({"Dataset", "BFS-only (s)", "DFS-only (s)",
+                      "Hybrid (s)"});
+  for (const std::string& name :
+       {std::string("Higgs_boson"), std::string("KDD99")}) {
+    const PreparedData& data = Prepare(name, options);
+    EngineConfig bfs = DefaultEngine(options);
+    bfs.tau_dfs = bfs.tau_d;  // never switch to depth-first
+    EngineConfig dfs = DefaultEngine(options);
+    dfs.tau_dfs = UINT64_MAX;  // depth-first from the root
+    EngineConfig hybrid = DefaultEngine(options);
+    Run b = TrainWith(data, bfs, trees);
+    Run d = TrainWith(data, dfs, trees);
+    Run h = TrainWith(data, hybrid, trees);
+    table.AddRow({name, Fmt(b.seconds, 3), Fmt(d.seconds, 3),
+                  Fmt(h.seconds, 3)});
+  }
+  table.Print();
+}
+
+void Compression(const BenchOptions& options, int trees) {
+  std::printf("\n== Ablation 2: data-channel compression (%d trees) ==\n",
+              trees);
+  TablePrinter table({"Dataset", "Raw (MB)", "Raw (s)", "Compressed (MB)",
+                      "Compressed (s)"});
+  for (const std::string& name :
+       {std::string("loan_m1"), std::string("Covtype"),
+        std::string("Poker")}) {
+    const PreparedData& data = Prepare(name, options);
+    EngineConfig raw = DefaultEngine(options);
+    EngineConfig packed = DefaultEngine(options);
+    packed.compress_transfers = true;
+    Run r = TrainWith(data, raw, trees);
+    Run p = TrainWith(data, packed, trees);
+    table.AddRow({name, Fmt(r.mbytes, 2), Fmt(r.seconds, 3),
+                  Fmt(p.mbytes, 2), Fmt(p.seconds, 3)});
+  }
+  table.Print();
+}
+
+void Replication(const BenchOptions& options, int trees) {
+  std::printf("\n== Ablation 3: column replication factor k (%d trees) ==\n",
+              trees);
+  TablePrinter table({"k", "Higgs time (s)", "Higgs traffic (MB)",
+                      "loan_m1 time (s)", "loan_m1 traffic (MB)"});
+  for (int k : {1, 2, 4}) {
+    std::vector<std::string> row = {std::to_string(k)};
+    for (const std::string& name :
+         {std::string("Higgs_boson"), std::string("loan_m1")}) {
+      const PreparedData& data = Prepare(name, options);
+      EngineConfig engine = DefaultEngine(options);
+      engine.replication = k;
+      Run run = TrainWith(data, engine, trees);
+      row.push_back(Fmt(run.seconds, 3));
+      row.push_back(Fmt(run.mbytes, 2));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchOptions options = BenchOptions::Parse(argc, argv);
+  int trees = options.quick ? 8 : 20;
+  std::printf("== Design ablations (scale=%g) ==\n", options.scale);
+  Scheduling(options, trees);
+  Compression(options, trees);
+  Replication(options, trees);
+  return 0;
+}

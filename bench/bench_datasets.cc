@@ -1,0 +1,31 @@
+// Regenerates Table I: the benchmark dataset profiles, as actually
+// instantiated by the synthetic generators at the chosen scale.
+
+#include "bench_util.h"
+
+using namespace treeserver;        // NOLINT
+using namespace treeserver::bench;  // NOLINT
+
+int main(int argc, char** argv) {
+  BenchOptions options = BenchOptions::Parse(argc, argv);
+  std::printf("== Table I: datasets (scale=%g of the paper's rows) ==\n",
+              options.scale);
+
+  TablePrinter table({"Dataset", "#{rows} (paper)", "#{rows} (bench)",
+                      "#{numerical}", "#{categorical}", "Problem"});
+  std::vector<DatasetProfile> paper = PaperProfiles(1.0, 1);
+  for (const DatasetProfile& full : paper) {
+    const PreparedData& data = Prepare(full.name, options);
+    size_t bench_rows = data.train.num_rows() + data.test.num_rows();
+    table.AddRow({full.name, std::to_string(full.rows),
+                  std::to_string(bench_rows),
+                  std::to_string(full.num_numeric),
+                  std::to_string(full.num_categorical),
+                  full.num_classes == 0
+                      ? "regression"
+                      : "classification (" +
+                            std::to_string(full.num_classes) + " classes)"});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Regenerates the "Fairness of Implementation" experiment (Section
+// VIII): single-threaded, single-tree construction with TreeServer's
+// exact serial trainer vs the MLlib simulator with all of its Spark
+// overheads disabled. Expected shape: comparable times — the paper's
+// point is that TreeServer's speedups come from the system design, not
+// from C++ vs JVM (here: not from the simulated Spark overheads).
+
+#include "baselines/planet.h"
+#include "bench_util.h"
+#include "tree/trainer.h"
+
+using namespace treeserver;        // NOLINT
+using namespace treeserver::bench;  // NOLINT
+
+int main(int argc, char** argv) {
+  BenchOptions options = BenchOptions::Parse(argc, argv);
+  std::printf("== Fairness: single-thread single-tree, no simulated "
+              "overheads (scale=%g) ==\n",
+              options.scale);
+  TablePrinter table({"Dataset", "Serial exact (s)", "Acc",
+                      "Histogram 1T (s)", "Acc"});
+  for (const std::string& name : {std::string("Higgs_boson"),
+                                  std::string("MS_LTRC")}) {
+    const PreparedData& data = Prepare(name, options);
+
+    TreeConfig cfg;
+    cfg.max_depth = 10;
+    WallTimer exact_timer;
+    TreeModel exact = TrainTreeOnTable(
+        data.train, data.train.schema().FeatureIndices(), cfg);
+    double exact_s = exact_timer.Seconds();
+    ForestModel exact_forest(data.train.schema().task_kind(),
+                             data.train.schema().num_classes());
+    exact_forest.AddTree(std::move(exact));
+    double exact_acc = EvaluateMetric(exact_forest, data.test);
+
+    PlanetConfig planet;
+    planet.max_depth = 10;
+    planet.num_threads = 1;
+    planet.num_partitions = 1;
+    planet.job_overhead_ms = 0.0;       // no Spark scheduling cost
+    planet.shuffle_bandwidth_mbps = 0;  // no shuffle cost
+    WallTimer ml_timer;
+    ForestModel ml = TrainPlanet(data.train, planet);
+    double ml_s = ml_timer.Seconds();
+    double ml_acc = EvaluateMetric(ml, data.test);
+
+    TaskKind kind = data.profile.task_kind();
+    table.AddRow({name, Fmt(exact_s, 3), FormatMetric(kind, exact_acc),
+                  Fmt(ml_s, 3), FormatMetric(kind, ml_acc)});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Micro-benchmarks (google-benchmark) for the hot paths: exact split
+// finders, target statistics, the plan deque, the concurrent hash map,
+// and message serialization. These are throughput measurements, not
+// paper-table reproductions.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "common/serial.h"
+#include "concurrent/concurrent_hash_map.h"
+#include "concurrent/plan_deque.h"
+#include "table/datasets.h"
+#include "tree/split.h"
+#include "tree/trainer.h"
+
+namespace treeserver {
+namespace {
+
+ColumnPtr MakeNumericColumn(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.UniformDouble();
+  return Column::Numeric("x", std::move(v));
+}
+
+ColumnPtr MakeLabelColumn(size_t n, int classes, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int32_t> v(n);
+  for (int32_t& x : v) x = static_cast<int32_t>(rng.Uniform(classes));
+  return Column::Categorical("y", std::move(v), classes);
+}
+
+void BM_NumericSplitClassification(benchmark::State& state) {
+  const size_t n = state.range(0);
+  ColumnPtr x = MakeNumericColumn(n, 1);
+  ColumnPtr y = MakeLabelColumn(n, 2, 2);
+  SplitContext ctx{TaskKind::kClassification, Impurity::kGini, 2};
+  for (auto _ : state) {
+    SplitOutcome o = FindBestSplit(*x, 0, *y, ctx, nullptr, n);
+    benchmark::DoNotOptimize(o);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_NumericSplitClassification)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_NumericSplitRegression(benchmark::State& state) {
+  const size_t n = state.range(0);
+  ColumnPtr x = MakeNumericColumn(n, 3);
+  ColumnPtr y = MakeNumericColumn(n, 4);
+  SplitContext ctx{TaskKind::kRegression, Impurity::kVariance, 0};
+  for (auto _ : state) {
+    SplitOutcome o = FindBestSplit(*x, 0, *y, ctx, nullptr, n);
+    benchmark::DoNotOptimize(o);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_NumericSplitRegression)->Arg(1000)->Arg(100000);
+
+void BM_CategoricalSplit(benchmark::State& state) {
+  const size_t n = state.range(0);
+  Rng rng(5);
+  std::vector<int32_t> xv(n);
+  for (int32_t& v : xv) v = static_cast<int32_t>(rng.Uniform(12));
+  ColumnPtr x = Column::Categorical("x", std::move(xv), 12);
+  ColumnPtr y = MakeLabelColumn(n, 5, 6);
+  SplitContext ctx{TaskKind::kClassification, Impurity::kGini, 5};
+  for (auto _ : state) {
+    SplitOutcome o = FindBestSplit(*x, 0, *y, ctx, nullptr, n);
+    benchmark::DoNotOptimize(o);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CategoricalSplit)->Arg(1000)->Arg(100000);
+
+void BM_TrainTree(benchmark::State& state) {
+  DatasetProfile p;
+  p.rows = state.range(0);
+  p.num_numeric = 8;
+  p.num_categorical = 2;
+  p.num_classes = 3;
+  DataTable t = GenerateTable(p, 7);
+  TreeConfig cfg;
+  cfg.max_depth = 10;
+  for (auto _ : state) {
+    TreeModel m = TrainTreeOnTable(t, t.schema().FeatureIndices(), cfg);
+    benchmark::DoNotOptimize(m);
+  }
+  state.SetItemsProcessed(state.iterations() * p.rows);
+}
+BENCHMARK(BM_TrainTree)->Arg(2000)->Arg(20000);
+
+void BM_PlanDeque(benchmark::State& state) {
+  PlanDeque<int> dq;
+  for (auto _ : state) {
+    dq.PushBack(1);
+    dq.PushFront(2);
+    benchmark::DoNotOptimize(dq.TryPopFront());
+    benchmark::DoNotOptimize(dq.TryPopFront());
+  }
+}
+BENCHMARK(BM_PlanDeque);
+
+void BM_ConcurrentHashMap(benchmark::State& state) {
+  ConcurrentHashMap<uint64_t, int> map(16);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    map.Insert(i, 1);
+    map.Visit(i, [](int& v) { ++v; });
+    map.Erase(i);
+    ++i;
+  }
+}
+BENCHMARK(BM_ConcurrentHashMap);
+
+void BM_SerializeSplitOutcome(benchmark::State& state) {
+  ColumnPtr x = MakeNumericColumn(10000, 8);
+  ColumnPtr y = MakeLabelColumn(10000, 4, 9);
+  SplitContext ctx{TaskKind::kClassification, Impurity::kGini, 4};
+  SplitOutcome o = FindBestSplit(*x, 0, *y, ctx, nullptr, 10000);
+  for (auto _ : state) {
+    BinaryWriter w;
+    o.Serialize(&w);
+    BinaryReader r(w.buffer());
+    SplitOutcome back;
+    benchmark::DoNotOptimize(SplitOutcome::Deserialize(&r, &back));
+  }
+}
+BENCHMARK(BM_SerializeSplitOutcome);
+
+}  // namespace
+}  // namespace treeserver
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// Regenerates Table V: vertical scalability — running time vs the
+// number of computing threads per machine (compers), for TreeServer
+// and the MLlib simulator, with 20-tree and 200-tree forests (the
+// latter scaled down by --quick).
+//
+// Measured wall time on a single-core CI box cannot show parallel
+// speedup (every thread shares one core), so each row also reports the
+// modeled wall time derived from measured busy seconds (see
+// EXPERIMENTS.md): that column reproduces the paper's shape — time
+// drops with threads and flattens near saturation.
+
+#include "baselines/planet.h"
+#include "bench_util.h"
+
+using namespace treeserver;        // NOLINT
+using namespace treeserver::bench;  // NOLINT
+
+namespace {
+
+double g_time_scale = 1.0;
+
+void Sweep(const BenchOptions& options, const std::string& name, int trees) {
+  std::printf("\n== Table V: #threads sweep on %s (%d trees) ==\n",
+              name.c_str(), trees);
+  const PreparedData& data = Prepare(name, options);
+  TablePrinter table({"#{threads}", "TS wall (s)", "TS busy (s)",
+                      "TS modeled (s)", "MLlib wall (s)"});
+  for (int threads : {1, 2, 4, 8, 10}) {
+    EngineConfig engine = DefaultEngine(options);
+    engine.compers_per_worker = threads;
+    WallTimer timer;
+    EngineMetrics metrics;
+    {
+      TreeServerCluster cluster(data.train, engine);
+      ForestJobSpec spec;
+      spec.num_trees = trees;
+      spec.tree.max_depth = 10;
+      spec.sqrt_columns = true;
+      spec.seed = 3;
+      cluster.TrainForest(spec);
+      metrics = cluster.metrics();
+    }
+    double wall = timer.Seconds();
+    double modeled = ModeledWall(metrics, engine, 0.0);
+
+    PlanetConfig planet;
+    planet.num_trees = trees;
+    planet.max_depth = 10;
+    planet.sqrt_columns = true;
+    planet.num_threads = threads;
+    planet.seed = 3;
+    planet.time_scale = g_time_scale;
+    WallTimer ml_timer;
+    TrainPlanet(data.train, planet);
+    double ml_wall = ml_timer.Seconds();
+
+    table.AddRow({std::to_string(threads), Fmt(wall, 3),
+                  Fmt(metrics.comper_busy_seconds, 3), Fmt(modeled, 4),
+                  Fmt(ml_wall, 3)});
+  }
+  table.Print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchOptions options = BenchOptions::Parse(argc, argv);
+  g_time_scale = options.scale;
+  std::printf("== Table V: vertical scalability (scale=%g, %d workers) ==\n",
+              options.scale, options.workers);
+  int small = options.quick ? 8 : 20;
+  int large = options.quick ? 20 : 60;  // paper: 200 trees
+  Sweep(options, "Allstate", small);
+  Sweep(options, "Higgs_boson", small);
+  Sweep(options, "Higgs_boson", large);
+  Sweep(options, "MS_LTRC", large);
+  return 0;
+}

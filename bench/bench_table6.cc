@@ -1,0 +1,82 @@
+// Regenerates Table VI: horizontal scalability — machines 4..15, with
+// per-machine CPU utilization and send throughput, for 1-tree and
+// 20-tree jobs.
+//
+// The simulated interconnect is throttled (--quick lowers work, not
+// bandwidth), and the table reports the modeled wall time
+// (busy/(M*compers) vs the busiest link's transfer time — see
+// EXPERIMENTS.md), modeled CPU% per machine, and the busiest machine's
+// send throughput. Expected shape: time falls with machines, CPU%
+// stays high, and improvement flattens once the send throughput
+// saturates the link — the paper's 941 Mbps knee.
+
+#include "bench_util.h"
+
+using namespace treeserver;        // NOLINT
+using namespace treeserver::bench;  // NOLINT
+
+namespace {
+
+void Sweep(const BenchOptions& options, const std::string& name, int trees,
+           double bandwidth_mbps) {
+  std::printf("\n== Table VI: #machines sweep on %s (%d trees, link %.0f "
+              "Mbps) ==\n",
+              name.c_str(), trees, bandwidth_mbps);
+  const PreparedData& data = Prepare(name, options);
+  TablePrinter table({"#{macs}", "Wall (s)", "Busy (s)", "Modeled (s)",
+                      "CPU%/mac", "Send (Mbps)"});
+  for (int machines : {4, 8, 12, 15}) {
+    EngineConfig engine = DefaultEngine(options);
+    engine.num_workers = machines;
+    engine.bandwidth_mbps = bandwidth_mbps;
+    WallTimer timer;
+    EngineMetrics metrics;
+    double max_endpoint_bytes = 0;
+    {
+      TreeServerCluster cluster(data.train, engine);
+      ForestJobSpec spec;
+      spec.num_trees = trees;
+      spec.tree.max_depth = 10;
+      spec.sqrt_columns = trees > 1;
+      spec.seed = 3;
+      cluster.TrainForest(spec);
+      metrics = cluster.metrics();
+      for (int w = 0; w < machines; ++w) {
+        max_endpoint_bytes = std::max(
+            max_endpoint_bytes,
+            static_cast<double>(cluster.network().bytes_sent(w)));
+      }
+    }
+    double wall = timer.Seconds();
+    double modeled = ModeledWall(metrics, engine, max_endpoint_bytes);
+    double cpu_pct =
+        modeled > 0
+            ? metrics.comper_busy_seconds / (modeled * machines) * 100.0
+            : 0.0;
+    double send_mbps =
+        modeled > 0 ? max_endpoint_bytes * 8.0 / modeled / 1e6 : 0.0;
+    table.AddRow({std::to_string(machines), Fmt(wall, 3),
+                  Fmt(metrics.comper_busy_seconds, 3), Fmt(modeled, 4),
+                  Fmt(cpu_pct, 0) + "%", Fmt(send_mbps, 1)});
+  }
+  table.Print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchOptions options = BenchOptions::Parse(argc, argv);
+  std::printf("== Table VI: horizontal scalability (scale=%g, %d compers) "
+              "==\n",
+              options.scale, options.compers);
+  // The link speed is scaled with the data so the saturation knee
+  // lands inside the sweep, like the paper's 1 GigE did at full scale.
+  double link = std::max(0.5, 941.0 * options.scale * 100.0);
+  int small = 1;
+  int large = options.quick ? 8 : 20;
+  Sweep(options, "Allstate", small, link);
+  Sweep(options, "Higgs_boson", small, link);
+  Sweep(options, "Allstate", large, link);
+  Sweep(options, "Higgs_boson", large, link);
+  return 0;
+}

@@ -1,0 +1,366 @@
+#include "baselines/gbdt.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace treeserver {
+
+namespace {
+
+/// Ordinal view of any feature cell: numeric value, category code as a
+/// double, or NaN for missing.
+double FeatureValue(const DataTable& table, int col, size_t row) {
+  const Column& c = *table.column(col);
+  if (c.type() == DataType::kNumeric) return c.numeric_at(row);
+  int32_t code = c.category_at(row);
+  return code == kMissingCategory ? MissingNumeric()
+                                  : static_cast<double>(code);
+}
+
+struct GradPair {
+  double g = 0.0;
+  double h = 0.0;
+  void Add(const GradPair& o) {
+    g += o.g;
+    h += o.h;
+  }
+  void Sub(const GradPair& o) {
+    g -= o.g;
+    h -= o.h;
+  }
+};
+
+double LeafWeight(const GradPair& sum, double lambda) {
+  return -sum.g / (sum.h + lambda);
+}
+
+double ScoreTerm(const GradPair& sum, double lambda) {
+  return sum.g * sum.g / (sum.h + lambda);
+}
+
+/// The weighted quantile sketch: candidate thresholds per feature,
+/// chosen at even hessian-mass steps over the sorted feature values.
+std::vector<double> QuantileCandidates(const DataTable& table, int col,
+                                       const std::vector<GradPair>& grad,
+                                       int max_candidates) {
+  std::vector<std::pair<double, double>> vh;  // (value, hessian)
+  vh.reserve(table.num_rows());
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    double v = FeatureValue(table, col, i);
+    if (!IsMissingNumeric(v)) vh.push_back({v, grad[i].h});
+  }
+  if (vh.size() < 2) return {};
+  std::sort(vh.begin(), vh.end());
+  double total_h = 0.0;
+  for (const auto& [v, h] : vh) total_h += h;
+  if (total_h <= 0.0) return {};
+
+  std::vector<double> candidates;
+  double step = total_h / (max_candidates + 1);
+  double acc = 0.0;
+  double next = step;
+  for (size_t i = 0; i + 1 < vh.size(); ++i) {
+    acc += vh[i].second;
+    if (acc >= next && vh[i].first != vh[i + 1].first) {
+      candidates.push_back(vh[i].first);
+      while (next <= acc) next += step;
+    }
+  }
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  return candidates;
+}
+
+struct BestSplit {
+  bool valid = false;
+  int feature = -1;
+  double threshold = 0.0;
+  bool missing_left = true;
+  double gain = 0.0;
+};
+
+struct TreeBuilder {
+  const DataTable& table;
+  const GbdtConfig& config;
+  const std::vector<GradPair>& grad;
+  const std::vector<int>& features;
+  const std::vector<std::vector<double>>& candidates;  // per feature slot
+  GbdtTree* tree;
+
+  BestSplit FindSplit(const uint32_t* rows, size_t n,
+                      const GradPair& total) const {
+    BestSplit best;
+    const double lambda = config.lambda;
+    const double parent_term = ScoreTerm(total, lambda);
+
+    auto eval_feature = [&](size_t slot, BestSplit* out) {
+      const std::vector<double>& cuts = candidates[slot];
+      if (cuts.empty()) return;
+      const int col = features[slot];
+      std::vector<GradPair> bins(cuts.size() + 1);
+      GradPair missing;
+      for (size_t i = 0; i < n; ++i) {
+        double v = FeatureValue(table, col, rows[i]);
+        if (IsMissingNumeric(v)) {
+          missing.Add(grad[rows[i]]);
+          continue;
+        }
+        size_t b = std::upper_bound(cuts.begin(), cuts.end(), v) -
+                   cuts.begin();
+        bins[b].Add(grad[rows[i]]);
+      }
+      GradPair left;
+      for (size_t cut = 0; cut < cuts.size(); ++cut) {
+        left.Add(bins[cut]);
+        // Try both default directions for missing values (XGBoost's
+        // learned sparsity-aware default).
+        for (bool miss_left : {true, false}) {
+          GradPair l = left;
+          GradPair r = total;
+          if (miss_left) {
+            l.Add(missing);
+          }
+          r.Sub(l);
+          if (l.h <= 0.0 || r.h <= 0.0) continue;
+          double gain = 0.5 * (ScoreTerm(l, lambda) + ScoreTerm(r, lambda) -
+                               parent_term) -
+                        config.gamma;
+          if (gain > out->gain || !out->valid) {
+            if (gain <= 0.0) continue;
+            out->valid = true;
+            out->feature = col;
+            out->threshold = cuts[cut];
+            out->missing_left = miss_left;
+            out->gain = gain;
+          }
+        }
+      }
+    };
+
+    if (config.num_threads <= 1 || features.size() < 2) {
+      for (size_t slot = 0; slot < features.size(); ++slot) {
+        BestSplit cand;
+        eval_feature(slot, &cand);
+        if (cand.valid && (!best.valid || cand.gain > best.gain ||
+                           (cand.gain == best.gain &&
+                            cand.feature < best.feature))) {
+          best = cand;
+        }
+      }
+    } else {
+      std::vector<BestSplit> results(features.size());
+      std::vector<std::thread> pool;
+      std::atomic<size_t> next{0};
+      int workers = std::min<int>(config.num_threads,
+                                  static_cast<int>(features.size()));
+      for (int w = 0; w < workers; ++w) {
+        pool.emplace_back([&] {
+          for (size_t slot = next.fetch_add(1); slot < features.size();
+               slot = next.fetch_add(1)) {
+            eval_feature(slot, &results[slot]);
+          }
+        });
+      }
+      for (std::thread& th : pool) th.join();
+      for (const BestSplit& cand : results) {
+        if (cand.valid && (!best.valid || cand.gain > best.gain ||
+                           (cand.gain == best.gain &&
+                            cand.feature < best.feature))) {
+          best = cand;
+        }
+      }
+    }
+    return best;
+  }
+
+  int32_t Build(std::vector<uint32_t>* rows, size_t begin, size_t end,
+                int depth) {
+    GradPair total;
+    for (size_t i = begin; i < end; ++i) total.Add(grad[(*rows)[i]]);
+
+    int32_t id = static_cast<int32_t>(tree->nodes.size());
+    tree->nodes.emplace_back();
+    const size_t n = end - begin;
+    if (depth >= config.max_depth || n <= config.min_leaf) {
+      tree->nodes[id].weight =
+          config.learning_rate * LeafWeight(total, config.lambda);
+      return id;
+    }
+    BestSplit best = FindSplit(rows->data() + begin, n, total);
+    if (!best.valid) {
+      tree->nodes[id].weight =
+          config.learning_rate * LeafWeight(total, config.lambda);
+      return id;
+    }
+
+    // Partition (stable) by the chosen condition.
+    std::vector<uint32_t> right_rows;
+    size_t write = begin;
+    for (size_t i = begin; i < end; ++i) {
+      uint32_t row = (*rows)[i];
+      double v = FeatureValue(table, best.feature, row);
+      bool go_left = IsMissingNumeric(v) ? best.missing_left
+                                         : v <= best.threshold;
+      if (go_left) {
+        (*rows)[write++] = row;
+      } else {
+        right_rows.push_back(row);
+      }
+    }
+    std::copy(right_rows.begin(), right_rows.end(), rows->begin() + write);
+    const size_t mid = write;
+    if (mid == begin || mid == end) {
+      // Degenerate split (all candidates on one side): make a leaf.
+      tree->nodes[id].weight =
+          config.learning_rate * LeafWeight(total, config.lambda);
+      return id;
+    }
+
+    tree->nodes[id].feature = best.feature;
+    tree->nodes[id].threshold = best.threshold;
+    tree->nodes[id].missing_left = best.missing_left;
+    int32_t left = Build(rows, begin, mid, depth + 1);
+    int32_t right = Build(rows, mid, end, depth + 1);
+    tree->nodes[id].left = left;
+    tree->nodes[id].right = right;
+    return id;
+  }
+};
+
+}  // namespace
+
+double GbdtTree::Predict(const DataTable& table, size_t row) const {
+  int32_t id = 0;
+  while (nodes[id].feature >= 0) {
+    const Node& node = nodes[id];
+    double v = FeatureValue(table, node.feature, row);
+    bool go_left =
+        IsMissingNumeric(v) ? node.missing_left : v <= node.threshold;
+    id = go_left ? node.left : node.right;
+  }
+  return nodes[id].weight;
+}
+
+std::vector<double> GbdtModel::Margins(const DataTable& table,
+                                       size_t row) const {
+  std::vector<double> m(group_size_, base_score_);
+  for (size_t i = 0; i < trees_.size(); ++i) {
+    m[i % group_size_] += trees_[i].Predict(table, row);
+  }
+  return m;
+}
+
+int32_t GbdtModel::PredictLabel(const DataTable& table, size_t row) const {
+  std::vector<double> m = Margins(table, row);
+  if (group_size_ == 1) return m[0] > 0.0 ? 1 : 0;  // binary logistic
+  return static_cast<int32_t>(std::max_element(m.begin(), m.end()) -
+                              m.begin());
+}
+
+double GbdtModel::PredictValue(const DataTable& table, size_t row) const {
+  return Margins(table, row)[0];
+}
+
+double GbdtModel::Evaluate(const DataTable& test) const {
+  if (kind_ == TaskKind::kClassification) {
+    size_t correct = 0;
+    for (size_t i = 0; i < test.num_rows(); ++i) {
+      if (PredictLabel(test, i) == test.label_at(i)) ++correct;
+    }
+    return test.num_rows() == 0
+               ? 0.0
+               : static_cast<double>(correct) / test.num_rows();
+  }
+  double sq = 0.0;
+  for (size_t i = 0; i < test.num_rows(); ++i) {
+    double d = PredictValue(test, i) - test.target_value_at(i);
+    sq += d * d;
+  }
+  return test.num_rows() == 0 ? 0.0 : std::sqrt(sq / test.num_rows());
+}
+
+GbdtModel TrainGbdt(const DataTable& table, const GbdtConfig& config) {
+  const Schema& schema = table.schema();
+  const size_t n = table.num_rows();
+  const bool classification =
+      schema.task_kind() == TaskKind::kClassification;
+  const int k = classification ? std::max(schema.num_classes(), 2) : 1;
+  const bool binary = classification && k == 2;
+
+  GbdtModel model;
+  model.kind_ = schema.task_kind();
+  model.num_classes_ = schema.num_classes();
+  model.group_size_ = classification && !binary ? k : 1;
+  model.learning_rate_ = config.learning_rate;
+
+  // Base score: mean target for regression, zero margin otherwise.
+  if (!classification) {
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) sum += table.target_value_at(i);
+    model.base_score_ = n == 0 ? 0.0 : sum / static_cast<double>(n);
+  }
+
+  std::vector<int> features = schema.FeatureIndices();
+  const int groups = model.group_size_;
+
+  // Current margins, [row][class-group].
+  std::vector<std::vector<double>> margins(
+      groups, std::vector<double>(n, model.base_score_));
+
+  std::vector<GradPair> grad(n);
+  for (int round = 0; round < config.num_rounds; ++round) {
+    for (int g = 0; g < groups; ++g) {
+      // Gradients/hessians of the objective at the current margins.
+      for (size_t i = 0; i < n; ++i) {
+        if (!classification) {
+          grad[i].g = margins[0][i] - table.target_value_at(i);
+          grad[i].h = 1.0;
+        } else if (binary) {
+          double p = 1.0 / (1.0 + std::exp(-margins[0][i]));
+          double y = table.label_at(i) == 1 ? 1.0 : 0.0;
+          grad[i].g = p - y;
+          grad[i].h = std::max(p * (1.0 - p), 1e-16);
+        } else {
+          // Softmax over the k margins.
+          double max_m = margins[0][i];
+          for (int c = 1; c < groups; ++c) {
+            max_m = std::max(max_m, margins[c][i]);
+          }
+          double denom = 0.0;
+          for (int c = 0; c < groups; ++c) {
+            denom += std::exp(margins[c][i] - max_m);
+          }
+          double p = std::exp(margins[g][i] - max_m) / denom;
+          double y = table.label_at(i) == g ? 1.0 : 0.0;
+          grad[i].g = p - y;
+          grad[i].h = std::max(2.0 * p * (1.0 - p), 1e-16);
+        }
+      }
+
+      // Per-tree quantile sketch.
+      std::vector<std::vector<double>> candidates(features.size());
+      for (size_t slot = 0; slot < features.size(); ++slot) {
+        candidates[slot] = QuantileCandidates(table, features[slot], grad,
+                                              config.max_candidates);
+      }
+
+      GbdtTree tree;
+      TreeBuilder builder{table, config, grad, features, candidates, &tree};
+      std::vector<uint32_t> rows(n);
+      for (size_t i = 0; i < n; ++i) rows[i] = static_cast<uint32_t>(i);
+      builder.Build(&rows, 0, n, 0);
+      for (size_t i = 0; i < n; ++i) {
+        margins[g][i] += tree.Predict(table, i);
+      }
+      model.trees_.push_back(std::move(tree));
+    }
+  }
+  return model;
+}
+
+}  // namespace treeserver

@@ -1,0 +1,88 @@
+#ifndef TREESERVER_BASELINES_GBDT_H_
+#define TREESERVER_BASELINES_GBDT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "table/data_table.h"
+
+namespace treeserver {
+
+/// Configuration of the gradient-boosted-trees baseline.
+///
+/// Stands in for XGBoost in the paper's comparisons: second-order
+/// (Newton) boosting on a regularized objective, approximate split
+/// finding over per-tree quantile candidate sets (the weighted
+/// quantile sketch), and — crucially for the running-time shape —
+/// strictly sequential tree construction (boosting dependencies).
+struct GbdtConfig {
+  /// Boosting rounds. For K-class problems each round trains K trees
+  /// (one-vs-rest with softmax), the standard multiclass scheme.
+  int num_rounds = 100;
+  int max_depth = 10;
+  double learning_rate = 0.3;
+  /// L2 regularization on leaf weights (XGBoost lambda).
+  double lambda = 1.0;
+  /// Minimum gain to split (XGBoost gamma).
+  double gamma = 0.0;
+  /// Candidate split values per feature per tree (sketch size).
+  int max_candidates = 32;
+  /// Threads used for per-node split finding across features.
+  int num_threads = 1;
+  uint32_t min_leaf = 1;
+  uint64_t seed = 1;
+};
+
+/// One regression tree over (gradient, hessian) pairs. Categorical
+/// features are consumed through their integer codes (ordinal
+/// encoding), as XGBoost classically requires.
+struct GbdtTree {
+  struct Node {
+    int feature = -1;  // -1: leaf
+    double threshold = 0.0;
+    bool missing_left = true;
+    int32_t left = -1;
+    int32_t right = -1;
+    double weight = 0.0;  // leaf output
+  };
+  std::vector<Node> nodes;
+
+  double Predict(const DataTable& table, size_t row) const;
+};
+
+/// A trained boosted ensemble.
+class GbdtModel {
+ public:
+  GbdtModel() = default;
+
+  TaskKind kind() const { return kind_; }
+  int num_classes() const { return num_classes_; }
+  size_t num_trees() const { return trees_.size(); }
+
+  /// Raw margin scores per class (size 1 for regression/binary).
+  std::vector<double> Margins(const DataTable& table, size_t row) const;
+  int32_t PredictLabel(const DataTable& table, size_t row) const;
+  double PredictValue(const DataTable& table, size_t row) const;
+
+  /// Accuracy (classification) or RMSE (regression).
+  double Evaluate(const DataTable& test) const;
+
+ private:
+  friend GbdtModel TrainGbdt(const DataTable&, const GbdtConfig&);
+
+  TaskKind kind_ = TaskKind::kRegression;
+  int num_classes_ = 0;
+  int group_size_ = 1;  // trees per round
+  double base_score_ = 0.0;
+  double learning_rate_ = 0.3;
+  std::vector<GbdtTree> trees_;  // round-major, class-minor
+};
+
+/// Trains the boosted ensemble. Squared loss for regression, logistic
+/// loss for binary classification, softmax for multiclass.
+GbdtModel TrainGbdt(const DataTable& table, const GbdtConfig& config);
+
+}  // namespace treeserver
+
+#endif  // TREESERVER_BASELINES_GBDT_H_

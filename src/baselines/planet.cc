@@ -1,0 +1,546 @@
+#include "baselines/planet.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "tree/split.h"
+#include "tree/trainer.h"
+
+namespace treeserver {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Attribute binning (PLANET's approximate equi-depth histograms).
+// ---------------------------------------------------------------------
+
+struct FeatureBins {
+  bool categorical = false;
+  int num_bins = 0;
+  /// Numeric: boundaries[b] is the inclusive upper edge of bin b
+  /// (last bin unbounded). Conditions use these raw values.
+  std::vector<double> boundaries;
+};
+
+/// Returns the imputation value for a column (mean / most frequent).
+double NumericMean(const Column& col) {
+  double sum = 0.0;
+  size_t n = 0;
+  for (double v : col.numeric_values()) {
+    if (!IsMissingNumeric(v)) {
+      sum += v;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+int32_t CategoricalMode(const Column& col) {
+  std::vector<int64_t> counts(std::max<int32_t>(col.cardinality(), 1), 0);
+  for (int32_t c : col.categorical_codes()) {
+    if (c != kMissingCategory) ++counts[c];
+  }
+  return static_cast<int32_t>(
+      std::max_element(counts.begin(), counts.end()) - counts.begin());
+}
+
+FeatureBins BuildBins(const Column& col, int max_bins, double impute,
+                      Rng* rng) {
+  FeatureBins bins;
+  if (col.type() == DataType::kCategorical) {
+    bins.categorical = true;
+    bins.num_bins = std::max<int32_t>(col.cardinality(), 1);
+    return bins;
+  }
+  // Equi-depth boundaries from a sample of the column values.
+  const auto& values = col.numeric_values();
+  const size_t sample_target = 20000;
+  std::vector<double> sample;
+  sample.reserve(std::min(values.size(), sample_target));
+  if (values.size() <= sample_target) {
+    for (double v : values) sample.push_back(IsMissingNumeric(v) ? impute : v);
+  } else {
+    for (size_t i = 0; i < sample_target; ++i) {
+      double v = values[rng->Uniform(values.size())];
+      sample.push_back(IsMissingNumeric(v) ? impute : v);
+    }
+  }
+  std::sort(sample.begin(), sample.end());
+  sample.erase(std::unique(sample.begin(), sample.end()), sample.end());
+  int bins_wanted = std::min<int>(max_bins, static_cast<int>(sample.size()));
+  bins.num_bins = std::max(bins_wanted, 1);
+  bins.boundaries.resize(bins.num_bins - 1);
+  for (int b = 0; b + 1 < bins.num_bins; ++b) {
+    size_t idx = (b + 1) * sample.size() / bins.num_bins;
+    if (idx >= sample.size()) idx = sample.size() - 1;
+    bins.boundaries[b] = sample[idx];
+  }
+  bins.boundaries.erase(
+      std::unique(bins.boundaries.begin(), bins.boundaries.end()),
+      bins.boundaries.end());
+  bins.num_bins = static_cast<int>(bins.boundaries.size()) + 1;
+  return bins;
+}
+
+int BinOf(const FeatureBins& bins, const Column& col, size_t row,
+          double impute_num, int32_t impute_cat) {
+  if (bins.categorical) {
+    int32_t c = col.category_at(row);
+    return c == kMissingCategory ? impute_cat : c;
+  }
+  double v = col.numeric_at(row);
+  if (IsMissingNumeric(v)) v = impute_num;
+  return static_cast<int>(std::upper_bound(bins.boundaries.begin(),
+                                           bins.boundaries.end(), v) -
+                          bins.boundaries.begin());
+}
+
+// ---------------------------------------------------------------------
+// Per-(node, feature, bin) statistics.
+// ---------------------------------------------------------------------
+
+struct BinStatsLayout {
+  bool classification = false;
+  int num_classes = 0;
+  /// Doubles per bin: classes (classification) or 3 (n, sum, sum_sq).
+  int width() const { return classification ? num_classes : 3; }
+};
+
+// A flat buffer of stats for a group of frontier nodes. Layout:
+// [node][feature][bin][width].
+struct GroupStats {
+  BinStatsLayout layout;
+  std::vector<int> feature_offsets;  // per candidate feature, bin offset
+  int bins_per_node = 0;
+  std::vector<double> data;
+
+  double* At(int node_slot, int feature_slot, int bin) {
+    return data.data() +
+           (static_cast<size_t>(node_slot) * bins_per_node +
+            feature_offsets[feature_slot] + bin) *
+               layout.width();
+  }
+};
+
+struct FrontierNode {
+  int tree = 0;
+  int32_t node_id = 0;
+  int depth = 0;
+};
+
+}  // namespace
+
+ForestModel TrainPlanet(const DataTable& table, const PlanetConfig& config,
+                        PlanetStats* stats_out) {
+  const Schema& schema = table.schema();
+  const bool classification = schema.task_kind() == TaskKind::kClassification;
+  const int num_classes = schema.num_classes();
+  const size_t n = table.num_rows();
+  Rng rng(config.seed * 0x9E3779B97F4A7C15ULL + 17);
+
+  PlanetStats stats;
+
+  // ---- Data prep: imputation values + histogram bins per feature.
+  std::vector<int> features = schema.FeatureIndices();
+  std::vector<double> impute_num(schema.num_columns(), 0.0);
+  std::vector<int32_t> impute_cat(schema.num_columns(), 0);
+  std::vector<FeatureBins> bins(schema.num_columns());
+  for (int f : features) {
+    const Column& col = *table.column(f);
+    if (col.type() == DataType::kNumeric) {
+      impute_num[f] = NumericMean(col);
+    } else {
+      impute_cat[f] = CategoricalMode(col);
+    }
+    bins[f] = BuildBins(col, config.max_bins, impute_num[f], &rng);
+  }
+
+  // Pre-binned matrix (what MLlib's TreePoint representation does).
+  std::vector<std::vector<uint16_t>> binned(schema.num_columns());
+  for (int f : features) {
+    binned[f].resize(n);
+    const Column& col = *table.column(f);
+    for (size_t i = 0; i < n; ++i) {
+      binned[f][i] = static_cast<uint16_t>(
+          BinOf(bins[f], col, i, impute_num[f], impute_cat[f]));
+    }
+  }
+
+  // Targets.
+  std::vector<int32_t> labels;
+  std::vector<double> targets;
+  if (classification) {
+    labels.resize(n);
+    for (size_t i = 0; i < n; ++i) labels[i] = table.label_at(i);
+  } else {
+    targets.resize(n);
+    for (size_t i = 0; i < n; ++i) targets[i] = table.target_value_at(i);
+  }
+
+  // ---- Per-tree state.
+  ForestJobSpec sampling;
+  sampling.seed = config.seed;
+  sampling.column_ratio = config.column_ratio;
+  sampling.sqrt_columns = config.sqrt_columns;
+
+  struct TreeUnderConstruction {
+    TreeModel model;
+    std::vector<int> candidates;
+    std::vector<int32_t> assign;  // row -> active node id; -1 done
+  };
+  std::vector<TreeUnderConstruction> trees(config.num_trees);
+  std::vector<FrontierNode> frontier;
+  for (int t = 0; t < config.num_trees; ++t) {
+    trees[t].model = TreeModel(schema.task_kind(), num_classes);
+    trees[t].model.AddNode(TreeModel::Node{});
+    trees[t].candidates = sampling.SampleColumns(schema, t);
+    trees[t].assign.assign(n, 0);
+    frontier.push_back(FrontierNode{t, 0, 0});
+  }
+
+  const BinStatsLayout layout{classification, num_classes};
+  const int num_partitions = std::max(config.num_partitions, 1);
+  const int num_threads = std::max(config.num_threads, 1);
+
+  // ---- Level-by-level construction (the PLANET/MapReduce pattern):
+  // each level of every active tree is one (or more) aggregation jobs.
+  while (!frontier.empty()) {
+    // Group frontier nodes under the statistics-memory budget.
+    std::vector<std::vector<FrontierNode>> groups;
+    {
+      std::vector<FrontierNode> current;
+      size_t current_bytes = 0;
+      for (const FrontierNode& fn : frontier) {
+        size_t node_bytes = 0;
+        for (int f : trees[fn.tree].candidates) {
+          node_bytes += static_cast<size_t>(bins[f].num_bins) *
+                        layout.width() * sizeof(double);
+        }
+        if (!current.empty() &&
+            current_bytes + node_bytes > config.group_memory_bytes) {
+          groups.push_back(std::move(current));
+          current.clear();
+          current_bytes = 0;
+        }
+        current.push_back(fn);
+        current_bytes += node_bytes;
+      }
+      if (!current.empty()) groups.push_back(std::move(current));
+    }
+
+    std::vector<FrontierNode> next_frontier;
+    for (const std::vector<FrontierNode>& group : groups) {
+      ++stats.levels;
+      // Simulated Spark job launch latency.
+      if (config.job_overhead_ms > 0) {
+        double seconds = config.job_overhead_ms / 1e3 * config.time_scale;
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(seconds));
+        stats.simulated_overhead_seconds += seconds;
+      }
+
+      // Slot maps for the flat stats buffer. All trees in the group
+      // share the widest candidate layout for simplicity: per node we
+      // lay out that node's own tree's candidates.
+      // For indexing we use per-tree feature slots.
+      std::map<std::pair<int, int32_t>, int> node_slot;
+      size_t total_bins = 0;
+      std::vector<size_t> node_offset;  // per slot, in bins
+      std::vector<const std::vector<int>*> node_candidates;
+      for (const FrontierNode& fn : group) {
+        node_slot[{fn.tree, fn.node_id}] =
+            static_cast<int>(node_offset.size());
+        node_offset.push_back(total_bins);
+        node_candidates.push_back(&trees[fn.tree].candidates);
+        for (int f : trees[fn.tree].candidates) {
+          total_bins += static_cast<size_t>(bins[f].num_bins);
+        }
+      }
+      const size_t stats_doubles = total_bins * layout.width();
+
+      // Per-thread accumulation buffers over row partitions, then a
+      // reduction — modelling the map-side combine + shuffle.
+      // Per-tree node->slot lookup so the row scan touches only the
+      // trees present in this group.
+      std::map<int, std::map<int32_t, int>> tree_slots;
+      for (const auto& [key, slot] : node_slot) {
+        tree_slots[key.first][key.second] = slot;
+      }
+
+      std::vector<std::vector<double>> partials(num_threads);
+      std::atomic<int> next_partition{0};
+      auto accumulate = [&](int thread_idx) {
+        std::vector<double>& acc = partials[thread_idx];
+        acc.assign(stats_doubles, 0.0);
+        for (int p = next_partition.fetch_add(1); p < num_partitions;
+             p = next_partition.fetch_add(1)) {
+          size_t begin = n * p / num_partitions;
+          size_t end = n * (p + 1) / num_partitions;
+          for (const auto& [t, slots] : tree_slots) {
+            const std::vector<int32_t>& assign = trees[t].assign;
+            for (size_t i = begin; i < end; ++i) {
+              auto it = slots.find(assign[i]);
+              if (it == slots.end()) continue;
+              const int slot = it->second;
+              size_t bin_base = node_offset[slot];
+              for (int f : *node_candidates[slot]) {
+                size_t idx = (bin_base + binned[f][i]) * layout.width();
+                if (classification) {
+                  acc[idx + labels[i]] += 1.0;
+                } else {
+                  acc[idx + 0] += 1.0;
+                  acc[idx + 1] += targets[i];
+                  acc[idx + 2] += targets[i] * targets[i];
+                }
+                bin_base += bins[f].num_bins;
+              }
+            }
+          }
+        }
+      };
+      if (num_threads == 1) {
+        accumulate(0);
+      } else {
+        std::vector<std::thread> pool;
+        for (int th = 0; th < num_threads; ++th) {
+          pool.emplace_back(accumulate, th);
+        }
+        for (std::thread& th : pool) th.join();
+      }
+      std::vector<double>& agg = partials[0];
+      for (int th = 1; th < num_threads; ++th) {
+        for (size_t i = 0; i < stats_doubles; ++i) agg[i] += partials[th][i];
+      }
+
+      // Shuffle accounting: every partition ships its stats to the
+      // driver for aggregation.
+      uint64_t shuffle_bytes = static_cast<uint64_t>(stats_doubles) *
+                               sizeof(double) * num_partitions;
+      stats.bytes_shuffled += shuffle_bytes;
+      if (config.shuffle_bandwidth_mbps > 0) {
+        double seconds = static_cast<double>(shuffle_bytes) /
+                         (config.shuffle_bandwidth_mbps * 1e6 / 8.0) *
+                         config.time_scale;
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(seconds));
+        stats.simulated_overhead_seconds += seconds;
+      }
+
+      // ---- Split selection per node from the aggregated histograms.
+      for (const FrontierNode& fn : group) {
+        int slot = node_slot[{fn.tree, fn.node_id}];
+        TreeUnderConstruction& tuc = trees[fn.tree];
+
+        // Node statistics from the first candidate feature's bins.
+        TargetStats node_stats = classification
+                                     ? TargetStats::Classification(num_classes)
+                                     : TargetStats::Regression();
+        {
+          size_t bin_base = node_offset[slot];
+          int f0 = (*node_candidates[slot])[0];
+          for (int b = 0; b < bins[f0].num_bins; ++b) {
+            const double* cell = &agg[(bin_base + b) * layout.width()];
+            if (classification) {
+              for (int c = 0; c < num_classes; ++c) {
+                node_stats.cls.Add(c, static_cast<int64_t>(cell[c]));
+              }
+            } else {
+              node_stats.reg.n += static_cast<int64_t>(cell[0]);
+              node_stats.reg.sum += cell[1];
+              node_stats.reg.sum_sq += cell[2];
+            }
+          }
+        }
+
+        TreeModel::Node& node = tuc.model.mutable_node(fn.node_id);
+        node.depth = static_cast<uint16_t>(fn.depth);
+        FillNodePrediction(node_stats, &node);
+
+        bool leaf = fn.depth >= config.max_depth ||
+                    node_stats.Count() <=
+                        static_cast<int64_t>(config.min_leaf) ||
+                    node_stats.IsPure();
+        SplitOutcome best;
+        if (!leaf) {
+          size_t bin_base = node_offset[slot];
+          for (int f : *node_candidates[slot]) {
+            const FeatureBins& fb = bins[f];
+            // Materialize per-bin stats.
+            std::vector<TargetStats> bin_stats(
+                fb.num_bins, classification
+                                 ? TargetStats::Classification(num_classes)
+                                 : TargetStats::Regression());
+            for (int b = 0; b < fb.num_bins; ++b) {
+              const double* cell = &agg[(bin_base + b) * layout.width()];
+              if (classification) {
+                for (int c = 0; c < num_classes; ++c) {
+                  bin_stats[b].cls.Add(c, static_cast<int64_t>(cell[c]));
+                }
+              } else {
+                bin_stats[b].reg.n += static_cast<int64_t>(cell[0]);
+                bin_stats[b].reg.sum += cell[1];
+                bin_stats[b].reg.sum_sq += cell[2];
+              }
+            }
+            bin_base += fb.num_bins;
+
+            const double total_n = static_cast<double>(node_stats.Count());
+            const double parent_imp =
+                node_stats.ImpurityValue(config.impurity);
+            auto consider = [&](TargetStats left, TargetStats right,
+                                SplitCondition cond) {
+              if (left.Count() == 0 || right.Count() == 0) return;
+              double child =
+                  (static_cast<double>(left.Count()) *
+                       left.ImpurityValue(config.impurity) +
+                   static_cast<double>(right.Count()) *
+                       right.ImpurityValue(config.impurity)) /
+                  total_n;
+              double gain = parent_imp - child;
+              SplitOutcome cand;
+              cand.valid = true;
+              cand.gain = gain;
+              cand.condition = std::move(cond);
+              cand.condition.missing_to_left = left.Count() >= right.Count();
+              cand.left_stats = std::move(left);
+              cand.right_stats = std::move(right);
+              if (SplitBeats(cand, best)) best = std::move(cand);
+            };
+
+            if (!fb.categorical) {
+              // Prefix scan over bin boundaries: one candidate split
+              // value per bucket (the PLANET approximation).
+              TargetStats left = classification
+                                     ? TargetStats::Classification(num_classes)
+                                     : TargetStats::Regression();
+              TargetStats right = node_stats;
+              for (int b = 0; b + 1 < fb.num_bins; ++b) {
+                left.Merge(bin_stats[b]);
+                if (classification) {
+                  for (size_t c = 0; c < right.cls.counts.size(); ++c) {
+                    right.cls.counts[c] -= bin_stats[b].cls.counts[c];
+                  }
+                  right.cls.n -= bin_stats[b].cls.n;
+                } else {
+                  right.reg.n -= bin_stats[b].reg.n;
+                  right.reg.sum -= bin_stats[b].reg.sum;
+                  right.reg.sum_sq -= bin_stats[b].reg.sum_sq;
+                }
+                SplitCondition cond;
+                cond.column = f;
+                cond.type = DataType::kNumeric;
+                cond.threshold = fb.boundaries[b];
+                consider(left, right, std::move(cond));
+              }
+            } else if (classification) {
+              // One-vs-rest over categories (= bins).
+              std::vector<int32_t> seen;
+              for (int b = 0; b < fb.num_bins; ++b) {
+                if (bin_stats[b].Count() > 0) seen.push_back(b);
+              }
+              for (int32_t c : seen) {
+                TargetStats left = bin_stats[c];
+                TargetStats right = node_stats;
+                for (size_t k = 0; k < right.cls.counts.size(); ++k) {
+                  right.cls.counts[k] -= left.cls.counts[k];
+                }
+                right.cls.n -= left.cls.n;
+                SplitCondition cond;
+                cond.column = f;
+                cond.type = DataType::kCategorical;
+                cond.left_categories = {c};
+                cond.seen_categories = seen;
+                consider(std::move(left), std::move(right), std::move(cond));
+              }
+            } else {
+              // Breiman: categories sorted by mean, prefix cuts.
+              std::vector<int32_t> seen;
+              for (int b = 0; b < fb.num_bins; ++b) {
+                if (bin_stats[b].Count() > 0) seen.push_back(b);
+              }
+              std::vector<int32_t> order = seen;
+              std::sort(order.begin(), order.end(),
+                        [&](int32_t a, int32_t b) {
+                          return bin_stats[a].reg.Mean() <
+                                 bin_stats[b].reg.Mean();
+                        });
+              TargetStats left = TargetStats::Regression();
+              for (size_t i = 0; i + 1 < order.size(); ++i) {
+                left.Merge(bin_stats[order[i]]);
+                TargetStats right = node_stats;
+                right.reg.n -= left.reg.n;
+                right.reg.sum -= left.reg.sum;
+                right.reg.sum_sq -= left.reg.sum_sq;
+                std::vector<int32_t> left_cats(order.begin(),
+                                               order.begin() + i + 1);
+                std::sort(left_cats.begin(), left_cats.end());
+                SplitCondition cond;
+                cond.column = f;
+                cond.type = DataType::kCategorical;
+                cond.left_categories = std::move(left_cats);
+                cond.seen_categories = seen;
+                consider(left, right, std::move(cond));
+              }
+            }
+          }
+          if (!best.valid || best.gain <= kMinSplitGain) leaf = true;
+        }
+
+        if (leaf) {
+          for (size_t i = 0; i < n; ++i) {
+            if (tuc.assign[i] == fn.node_id) tuc.assign[i] = -1;
+          }
+          continue;
+        }
+
+        // Install the split and two child placeholders.
+        TreeModel::Node left_child;
+        left_child.depth = static_cast<uint16_t>(fn.depth + 1);
+        TreeModel::Node right_child;
+        right_child.depth = static_cast<uint16_t>(fn.depth + 1);
+        int32_t left_id = tuc.model.AddNode(std::move(left_child));
+        int32_t right_id = tuc.model.AddNode(std::move(right_child));
+        TreeModel::Node& parent = tuc.model.mutable_node(fn.node_id);
+        parent.condition = best.condition;
+        parent.split_gain = best.gain;
+        parent.left = left_id;
+        parent.right = right_id;
+
+        // Route rows to the children.
+        const SplitCondition& cond = best.condition;
+        const Column& col = *table.column(cond.column);
+        for (size_t i = 0; i < n; ++i) {
+          if (tuc.assign[i] != fn.node_id) continue;
+          bool go_left;
+          if (cond.type == DataType::kNumeric) {
+            double v = col.numeric_at(i);
+            if (IsMissingNumeric(v)) v = impute_num[cond.column];
+            go_left = cond.TrainRoutesLeftNumeric(v);
+          } else {
+            int32_t c = col.category_at(i);
+            if (c == kMissingCategory) c = impute_cat[cond.column];
+            go_left = cond.TrainRoutesLeftCategory(c);
+          }
+          tuc.assign[i] = go_left ? left_id : right_id;
+        }
+        next_frontier.push_back(FrontierNode{fn.tree, left_id, fn.depth + 1});
+        next_frontier.push_back(
+            FrontierNode{fn.tree, right_id, fn.depth + 1});
+      }
+    }
+    frontier = std::move(next_frontier);
+  }
+
+  ForestModel model(schema.task_kind(), num_classes);
+  for (TreeUnderConstruction& t : trees) model.AddTree(std::move(t.model));
+  if (stats_out != nullptr) *stats_out = stats;
+  return model;
+}
+
+}  // namespace treeserver

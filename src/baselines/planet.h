@@ -1,0 +1,83 @@
+#ifndef TREESERVER_BASELINES_PLANET_H_
+#define TREESERVER_BASELINES_PLANET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "forest/forest.h"
+#include "table/data_table.h"
+
+namespace treeserver {
+
+/// Configuration of the PLANET / Spark-MLlib baseline simulator.
+///
+/// The simulator reproduces the *algorithm class* the paper compares
+/// against: row-partitioned data, level-by-level (breadth-first)
+/// node construction, equi-depth histograms with `max_bins` buckets
+/// per attribute (approximate split finding), and per-level global
+/// aggregation of statistics. The costs Spark pays that a native
+/// in-process loop does not — per-job scheduling latency and the
+/// statistics shuffle over the interconnect — are charged explicitly
+/// (`job_overhead_ms`, `shuffle_bandwidth_mbps`), since they are what
+/// makes PLANET IO-bound in the paper's measurements.
+struct PlanetConfig {
+  /// maxBins: buckets of the attribute-value histogram (MLlib default).
+  int max_bins = 32;
+  int max_depth = 10;
+  uint32_t min_leaf = 1;
+  Impurity impurity = Impurity::kGini;
+
+  int num_trees = 1;
+  /// |C|/|A| per tree (1.0 for a plain decision tree; MLlib RF uses
+  /// sqrt).
+  double column_ratio = 1.0;
+  bool sqrt_columns = false;
+  uint64_t seed = 1;
+
+  /// Row partitions (the simulated "machines"/RDD partitions).
+  int num_partitions = 15;
+  /// Threads used for per-level histogram computation: >1 = the
+  /// paper's "MLlib (Parallel)", 1 = "MLlib (Single Thread)".
+  int num_threads = 1;
+
+  /// Simulated Spark job-launch + task-scheduling latency per
+  /// level-group job.
+  double job_overhead_ms = 15.0;
+  /// Simulated interconnect bandwidth for the per-level statistics
+  /// aggregation; 0 disables the charge.
+  double shuffle_bandwidth_mbps = 941.0;
+  /// Statistics-memory budget per level group, in bytes (Spark's
+  /// maxMemoryInMB); a level whose histogram state exceeds it is
+  /// processed in several group passes, each paying the job overhead.
+  size_t group_memory_bytes = 256ull << 20;
+
+  /// Multiplier applied to every simulated sleep (job overhead and
+  /// shuffle). job_overhead_ms and shuffle_bandwidth_mbps are
+  /// expressed at the paper's full cluster scale; benches running on
+  /// 1/N-scale data set time_scale ≈ 1/N so that simulated Spark costs
+  /// shrink by the same factor as the real computation, preserving the
+  /// TreeServer-vs-MLlib time *ratios*.
+  double time_scale = 1.0;
+
+  /// MLlib does not handle missing values; callers must impute first
+  /// (the harness fills with column means, like the paper did for
+  /// Allstate). If this flag is set the trainer imputes internally.
+  bool impute_missing = true;
+};
+
+/// Aggregate cost accounting of one training run.
+struct PlanetStats {
+  int levels = 0;          // level-group jobs launched
+  uint64_t bytes_shuffled = 0;
+  double simulated_overhead_seconds = 0.0;
+};
+
+/// Trains a forest with the PLANET/MLlib algorithm. The returned trees
+/// use the same TreeModel representation as TreeServer, so evaluation
+/// is shared. `stats`, if non-null, receives the cost accounting.
+ForestModel TrainPlanet(const DataTable& table, const PlanetConfig& config,
+                        PlanetStats* stats = nullptr);
+
+}  // namespace treeserver
+
+#endif  // TREESERVER_BASELINES_PLANET_H_

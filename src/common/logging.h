@@ -1,0 +1,78 @@
+#ifndef TREESERVER_COMMON_LOGGING_H_
+#define TREESERVER_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace treeserver {
+
+/// Severity levels for the process-wide logger.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Sets the minimum severity that is emitted (default: kWarn, so tests
+/// and benchmarks stay quiet unless something is wrong).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log sink that emits on destruction. kFatal aborts.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Discards the streamed expression when the level is filtered out.
+struct LogMessageVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal_logging
+
+#define TS_LOG_IS_ON(level) \
+  (::treeserver::LogLevel::level >= ::treeserver::GetLogLevel())
+
+#define TS_LOG(level)                                                        \
+  !TS_LOG_IS_ON(level)                                                       \
+      ? (void)0                                                              \
+      : ::treeserver::internal_logging::LogMessageVoidify() &                \
+            ::treeserver::internal_logging::LogMessage(                      \
+                ::treeserver::LogLevel::level, __FILE__, __LINE__)           \
+                .stream()
+
+/// Always-on invariant check; aborts with a message when violated.
+#define TS_CHECK(cond)                                                      \
+  (cond) ? (void)0                                                          \
+         : ::treeserver::internal_logging::LogMessageVoidify() &            \
+               ::treeserver::internal_logging::LogMessage(                  \
+                   ::treeserver::LogLevel::kFatal, __FILE__, __LINE__)      \
+                   .stream()                                                \
+               << "Check failed: " #cond " "
+
+#ifndef NDEBUG
+#define TS_DCHECK(cond) TS_CHECK(cond)
+#else
+#define TS_DCHECK(cond) \
+  while (false) TS_CHECK(cond)
+#endif
+
+}  // namespace treeserver
+
+#endif  // TREESERVER_COMMON_LOGGING_H_

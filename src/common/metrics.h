@@ -1,0 +1,62 @@
+#ifndef TREESERVER_COMMON_METRICS_H_
+#define TREESERVER_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace treeserver {
+
+/// Monotonic counter safe for concurrent increment (bytes sent, tasks
+/// computed, files opened, ...).
+class Counter {
+ public:
+  void Add(uint64_t delta) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  void Inc() { Add(1); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Up/down gauge that remembers its high-water mark. Used to report the
+/// peak task-memory figures of Table III.
+class PeakGauge {
+ public:
+  void Add(int64_t delta) {
+    int64_t now = v_.fetch_add(delta, std::memory_order_relaxed) + delta;
+    int64_t peak = peak_.load(std::memory_order_relaxed);
+    while (now > peak &&
+           !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+    }
+  }
+  void Sub(int64_t delta) { Add(-delta); }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  int64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+  void Reset() {
+    v_.store(0, std::memory_order_relaxed);
+    peak_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> v_{0};
+  std::atomic<int64_t> peak_{0};
+};
+
+/// Accumulates busy-time (in nanoseconds) across comper threads so the
+/// harness can report aggregate CPU utilization like Table VI.
+class BusyClock {
+ public:
+  void AddNanos(uint64_t ns) { ns_.fetch_add(ns, std::memory_order_relaxed); }
+  double Seconds() const {
+    return static_cast<double>(ns_.load(std::memory_order_relaxed)) * 1e-9;
+  }
+  void Reset() { ns_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> ns_{0};
+};
+
+}  // namespace treeserver
+
+#endif  // TREESERVER_COMMON_METRICS_H_

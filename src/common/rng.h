@@ -1,0 +1,94 @@
+#ifndef TREESERVER_COMMON_RNG_H_
+#define TREESERVER_COMMON_RNG_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <limits>
+#include <vector>
+
+namespace treeserver {
+
+/// Deterministic, fast pseudo-random generator (splitmix64 core).
+///
+/// Every stochastic component in the library (bagging, column sampling,
+/// extra-tree thresholds, dataset generators) takes an explicit Rng so
+/// experiments are reproducible from a single seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return lo + (hi - lo) * UniformDouble();
+  }
+
+  /// Approximate standard normal via sum of uniforms (Irwin–Hall, 12
+  /// terms): cheap and good enough for synthetic data generation.
+  double Normal() {
+    double s = 0.0;
+    for (int i = 0; i < 12; ++i) s += UniformDouble();
+    return s - 6.0;
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Samples k distinct values from [0, n) (Floyd's algorithm would be
+  /// fancier; partial Fisher–Yates is simple and O(n) space, which is
+  /// fine at our column counts). Result order is random.
+  std::vector<int> SampleWithoutReplacement(int n, int k);
+
+  /// In-place Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = Uniform(i);
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Forks an independent stream (for per-tree / per-worker RNGs).
+  Rng Fork() { return Rng(Next()); }
+
+ private:
+  uint64_t state_;
+};
+
+inline std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
+  if (k > n) k = n;
+  std::vector<int> all(n);
+  for (int i = 0; i < n; ++i) all[i] = i;
+  for (int i = 0; i < k; ++i) {
+    int j = i + static_cast<int>(Uniform(static_cast<uint64_t>(n - i)));
+    std::swap(all[i], all[j]);
+  }
+  all.resize(k);
+  return all;
+}
+
+}  // namespace treeserver
+
+#endif  // TREESERVER_COMMON_RNG_H_

@@ -1,0 +1,131 @@
+#ifndef TREESERVER_COMMON_STATUS_H_
+#define TREESERVER_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace treeserver {
+
+/// Error categories used across the library. Modeled after the
+/// RocksDB/Arrow convention: library code never throws across API
+/// boundaries; fallible operations return Status or Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIOError,
+  kCorruption,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kUnavailable,  // e.g. a crashed worker
+  kInternal,
+};
+
+/// Lightweight success/error carrier.
+///
+/// An OK status stores no message and is cheap to copy. Error statuses
+/// carry a code and a human-readable message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// Returns the canonical name of a status code, e.g. "InvalidArgument".
+const char* StatusCodeName(StatusCode code);
+
+/// Value-or-error carrier, analogous to arrow::Result.
+///
+/// Either holds a T (when ok()) or an error Status. Accessing the value
+/// of an errored Result aborts, so callers must check ok() first (or use
+/// the TS_ASSIGN_OR_RETURN macro).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or an error status keeps call
+  /// sites terse: `return value;` / `return Status::IOError(...)`.
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : rep_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOkStatus;
+    if (ok()) return kOkStatus;
+    return std::get<Status>(rep_);
+  }
+
+  const T& value() const& { return std::get<T>(rep_); }
+  T& value() & { return std::get<T>(rep_); }
+  T&& value() && { return std::get<T>(std::move(rep_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+/// Propagates a non-OK status out of the enclosing function.
+#define TS_RETURN_IF_ERROR(expr)              \
+  do {                                        \
+    ::treeserver::Status _st = (expr);        \
+    if (!_st.ok()) return _st;                \
+  } while (false)
+
+#define TS_CONCAT_IMPL(a, b) a##b
+#define TS_CONCAT(a, b) TS_CONCAT_IMPL(a, b)
+
+/// Evaluates a Result expression; on error returns the Status, on
+/// success moves the value into `lhs`.
+#define TS_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  auto TS_CONCAT(_result_, __LINE__) = (rexpr);                \
+  if (!TS_CONCAT(_result_, __LINE__).ok())                     \
+    return TS_CONCAT(_result_, __LINE__).status();             \
+  lhs = std::move(TS_CONCAT(_result_, __LINE__)).value()
+
+}  // namespace treeserver
+
+#endif  // TREESERVER_COMMON_STATUS_H_

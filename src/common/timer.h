@@ -1,0 +1,30 @@
+#ifndef TREESERVER_COMMON_TIMER_H_
+#define TREESERVER_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace treeserver {
+
+/// Monotonic wall-clock stopwatch used by the experiment harnesses.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+  double Micros() const { return Seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace treeserver
+
+#endif  // TREESERVER_COMMON_TIMER_H_

@@ -1,0 +1,96 @@
+#ifndef TREESERVER_CONCURRENT_BLOCKING_QUEUE_H_
+#define TREESERVER_CONCURRENT_BLOCKING_QUEUE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace treeserver {
+
+/// Multi-producer multi-consumer blocking FIFO.
+///
+/// This is the channel primitive of the simulated cluster: message
+/// queues (Q_plan, send/recv queues) and task buffers (B_task) are all
+/// instances. Close() wakes all blocked consumers; Pop() returns
+/// nullopt once the queue is closed and drained, which is how worker
+/// threads learn to terminate.
+template <typename T>
+class BlockingQueue {
+ public:
+  BlockingQueue() = default;
+  BlockingQueue(const BlockingQueue&) = delete;
+  BlockingQueue& operator=(const BlockingQueue&) = delete;
+
+  /// Enqueues; returns false if the queue is already closed.
+  bool Push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return false;
+      q_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed and
+  /// empty. Returns nullopt only in the latter case.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return !q_.empty() || closed_; });
+    if (q_.empty()) return std::nullopt;
+    T item = std::move(q_.front());
+    q_.pop_front();
+    return item;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> TryPop() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (q_.empty()) return std::nullopt;
+    T item = std::move(q_.front());
+    q_.pop_front();
+    return item;
+  }
+
+  /// Marks the queue closed. Pending items are still delivered;
+  /// subsequent Push calls fail.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  /// Reopens a closed queue (master failover hands the mailbox to a
+  /// fresh master). Pending stale items stay and are dropped by the
+  /// new consumer via its unknown-task handling.
+  void Reopen() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = false;
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return q_.size();
+  }
+
+  bool empty() const { return size() == 0; }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> q_;
+  bool closed_ = false;
+};
+
+}  // namespace treeserver
+
+#endif  // TREESERVER_CONCURRENT_BLOCKING_QUEUE_H_

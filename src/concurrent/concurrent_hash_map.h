@@ -1,0 +1,134 @@
+#ifndef TREESERVER_CONCURRENT_CONCURRENT_HASH_MAP_H_
+#define TREESERVER_CONCURRENT_CONCURRENT_HASH_MAP_H_
+
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace treeserver {
+
+/// Sharded hash map for multi-threaded access.
+///
+/// The task tables (T_task in the master and in each worker) are
+/// instances: insertion/lookup of different tasks proceed concurrently
+/// as long as they land in different shards, matching the paper's
+/// "concurrent hash table" description (Appendix E). Values are
+/// accessed under the shard lock via visit callbacks so callers can
+/// mutate task state without a second lookup.
+template <typename K, typename V, typename Hash = std::hash<K>>
+class ConcurrentHashMap {
+ public:
+  explicit ConcurrentHashMap(size_t num_shards = 16)
+      : shards_(num_shards == 0 ? 1 : num_shards) {}
+
+  ConcurrentHashMap(const ConcurrentHashMap&) = delete;
+  ConcurrentHashMap& operator=(const ConcurrentHashMap&) = delete;
+
+  /// Inserts if absent; returns false if the key already exists.
+  bool Insert(const K& key, V value) {
+    Shard& s = ShardFor(key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    return s.map.emplace(key, std::move(value)).second;
+  }
+
+  /// Runs `fn(value)` under the shard lock if the key exists.
+  /// Returns whether the key was found.
+  bool Visit(const K& key, const std::function<void(V&)>& fn) {
+    Shard& s = ShardFor(key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.map.find(key);
+    if (it == s.map.end()) return false;
+    fn(it->second);
+    return true;
+  }
+
+  /// Like Visit, but `fn` returns true to erase the entry afterwards.
+  /// Returns whether the key was found.
+  bool VisitAndMaybeErase(const K& key, const std::function<bool(V&)>& fn) {
+    Shard& s = ShardFor(key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.map.find(key);
+    if (it == s.map.end()) return false;
+    if (fn(it->second)) s.map.erase(it);
+    return true;
+  }
+
+  /// Removes the entry and returns its value, if present.
+  std::optional<V> Extract(const K& key) {
+    Shard& s = ShardFor(key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.map.find(key);
+    if (it == s.map.end()) return std::nullopt;
+    V v = std::move(it->second);
+    s.map.erase(it);
+    return v;
+  }
+
+  bool Erase(const K& key) {
+    Shard& s = ShardFor(key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    return s.map.erase(key) > 0;
+  }
+
+  bool Contains(const K& key) const {
+    const Shard& s = ShardFor(key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    return s.map.count(key) > 0;
+  }
+
+  /// Visits every entry (shard by shard, each under its lock). Used by
+  /// fault-tolerance sweeps to find tasks touching a crashed worker.
+  void ForEach(const std::function<void(const K&, V&)>& fn) {
+    for (Shard& s : shards_) {
+      std::lock_guard<std::mutex> lock(s.mu);
+      for (auto& [k, v] : s.map) fn(k, v);
+    }
+  }
+
+  /// Collects keys matching a predicate (snapshot; the map may change
+  /// immediately after).
+  std::vector<K> KeysWhere(const std::function<bool(const K&, const V&)>& pred)
+      const {
+    std::vector<K> out;
+    for (const Shard& s : shards_) {
+      std::lock_guard<std::mutex> lock(s.mu);
+      for (const auto& [k, v] : s.map) {
+        if (pred(k, v)) out.push_back(k);
+      }
+    }
+    return out;
+  }
+
+  size_t size() const {
+    size_t n = 0;
+    for (const Shard& s : shards_) {
+      std::lock_guard<std::mutex> lock(s.mu);
+      n += s.map.size();
+    }
+    return n;
+  }
+
+  bool empty() const { return size() == 0; }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<K, V, Hash> map;
+  };
+
+  Shard& ShardFor(const K& key) {
+    return shards_[Hash{}(key) % shards_.size()];
+  }
+  const Shard& ShardFor(const K& key) const {
+    return shards_[Hash{}(key) % shards_.size()];
+  }
+
+  std::vector<Shard> shards_;
+};
+
+}  // namespace treeserver
+
+#endif  // TREESERVER_CONCURRENT_CONCURRENT_HASH_MAP_H_

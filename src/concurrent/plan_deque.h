@@ -1,0 +1,77 @@
+#ifndef TREESERVER_CONCURRENT_PLAN_DEQUE_H_
+#define TREESERVER_CONCURRENT_PLAN_DEQUE_H_
+
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace treeserver {
+
+/// Mutex-protected deque implementing the hybrid BFS/DFS plan buffer
+/// B_plan (Section III, "Task Scheduling").
+///
+/// The master's receiving thread inserts new node tasks at the *tail*
+/// when |D_x| > τ_dfs (queue behaviour → breadth-first expansion of
+/// upper levels) and at the *head* when |D_x| ≤ τ_dfs (stack behaviour
+/// → depth-first descent toward CPU-bound subtree-tasks). The main
+/// thread always fetches from the head.
+template <typename T>
+class PlanDeque {
+ public:
+  PlanDeque() = default;
+  PlanDeque(const PlanDeque&) = delete;
+  PlanDeque& operator=(const PlanDeque&) = delete;
+
+  /// Stack insert: the plan will be fetched next (depth-first).
+  void PushFront(T plan) {
+    std::lock_guard<std::mutex> lock(mu_);
+    q_.push_front(std::move(plan));
+  }
+
+  /// Queue insert: the plan waits behind earlier ones (breadth-first).
+  void PushBack(T plan) {
+    std::lock_guard<std::mutex> lock(mu_);
+    q_.push_back(std::move(plan));
+  }
+
+  /// Fetches the next plan from the head, if any.
+  std::optional<T> TryPopFront() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (q_.empty()) return std::nullopt;
+    T plan = std::move(q_.front());
+    q_.pop_front();
+    return plan;
+  }
+
+  /// Removes all plans matching the predicate (fault tolerance:
+  /// dropping plans of a revoked tree). Returns the number removed.
+  template <typename Pred>
+  size_t RemoveIf(Pred pred) {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t before = q_.size();
+    for (auto it = q_.begin(); it != q_.end();) {
+      if (pred(*it)) {
+        it = q_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return before - q_.size();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return q_.size();
+  }
+
+  bool empty() const { return size() == 0; }
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<T> q_;
+};
+
+}  // namespace treeserver
+
+#endif  // TREESERVER_CONCURRENT_PLAN_DEQUE_H_

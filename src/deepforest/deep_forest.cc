@@ -1,0 +1,414 @@
+#include "deepforest/deep_forest.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace treeserver {
+
+namespace {
+
+int PositionsPerAxis(int extent, int window, int stride) {
+  return (extent - window) / stride + 1;
+}
+
+/// Builds a numeric-feature classification table from per-image
+/// feature vectors.
+DataTable BuildFeatureTable(const std::vector<std::vector<float>>& features,
+                            const std::vector<int32_t>& labels,
+                            int num_classes) {
+  TS_CHECK(!features.empty());
+  const size_t n = features.size();
+  const size_t dims = features[0].size();
+  std::vector<ColumnMeta> metas;
+  std::vector<ColumnPtr> cols;
+  metas.reserve(dims + 1);
+  cols.reserve(dims + 1);
+  for (size_t d = 0; d < dims; ++d) {
+    std::vector<double> values(n);
+    for (size_t i = 0; i < n; ++i) values[i] = features[i][d];
+    std::string name = "f" + std::to_string(d);
+    cols.push_back(Column::Numeric(name, std::move(values)));
+    metas.push_back(ColumnMeta{name, DataType::kNumeric, 0});
+  }
+  cols.push_back(Column::Categorical("Y", labels, num_classes));
+  metas.push_back(ColumnMeta{"Y", DataType::kCategorical, num_classes});
+  int target = static_cast<int>(cols.size()) - 1;
+  auto table = DataTable::Make(
+      Schema(std::move(metas), target, TaskKind::kClassification),
+      std::move(cols));
+  TS_CHECK(table.ok()) << table.status().ToString();
+  return std::move(table).value();
+}
+
+/// Concatenates per-image blocks: out[i] = a[i] ++ b[i].
+std::vector<std::vector<float>> ConcatFeatures(
+    const std::vector<std::vector<float>>& a,
+    const std::vector<std::vector<float>>& b) {
+  TS_CHECK(a.size() == b.size());
+  std::vector<std::vector<float>> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    out[i].reserve(a[i].size() + b[i].size());
+    out[i].insert(out[i].end(), a[i].begin(), a[i].end());
+    out[i].insert(out[i].end(), b[i].begin(), b[i].end());
+  }
+  return out;
+}
+
+void ParallelFor(size_t n, int num_threads,
+                 const std::function<void(size_t)>& fn) {
+  if (num_threads <= 1 || n < 2) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> pool;
+  int workers = std::min<size_t>(num_threads, n);
+  for (int w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+        fn(i);
+      }
+    });
+  }
+  for (std::thread& th : pool) th.join();
+}
+
+/// Per-image averaged PMFs of each forest over a plain feature table
+/// (cascade layers: one row per image).
+std::vector<std::vector<float>> ExtractLayerFeatures(
+    const std::vector<ForestModel>& forests, const DataTable& table,
+    int num_threads) {
+  const size_t n = table.num_rows();
+  std::vector<std::vector<float>> out(n);
+  ParallelFor(n, num_threads, [&](size_t i) {
+    for (const ForestModel& forest : forests) {
+      std::vector<float> pmf = forest.PredictPmf(table, i);
+      out[i].insert(out[i].end(), pmf.begin(), pmf.end());
+    }
+  });
+  return out;
+}
+
+std::vector<int32_t> ArgmaxLabels(
+    const std::vector<std::vector<float>>& layer_features, int num_classes,
+    int forests) {
+  std::vector<int32_t> labels(layer_features.size());
+  for (size_t i = 0; i < layer_features.size(); ++i) {
+    // Average the per-forest PMFs, then argmax.
+    std::vector<float> avg(num_classes, 0.0f);
+    for (int f = 0; f < forests; ++f) {
+      for (int c = 0; c < num_classes; ++c) {
+        avg[c] += layer_features[i][f * num_classes + c];
+      }
+    }
+    labels[i] = static_cast<int32_t>(
+        std::max_element(avg.begin(), avg.end()) - avg.begin());
+  }
+  return labels;
+}
+
+double Accuracy(const std::vector<int32_t>& pred,
+                const std::vector<int32_t>& truth) {
+  if (pred.empty()) return 0.0;
+  size_t correct = 0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    if (pred[i] == truth[i]) ++correct;
+  }
+  return static_cast<double>(correct) / pred.size();
+}
+
+}  // namespace
+
+DataTable BuildWindowTable(const ImageDataset& images, int window, int stride,
+                           int num_threads) {
+  const int px = PositionsPerAxis(images.width, window, stride);
+  const int py = PositionsPerAxis(images.height, window, stride);
+  const size_t positions = static_cast<size_t>(px) * py;
+  const size_t dims = static_cast<size_t>(window) * window;
+  const size_t rows = images.size() * positions;
+
+  std::vector<std::vector<double>> feature_values(dims,
+                                                  std::vector<double>(rows));
+  std::vector<int32_t> labels(rows);
+
+  ParallelFor(images.size(), num_threads, [&](size_t img) {
+    const std::vector<float>& pixels = images.images[img];
+    size_t row = img * positions;
+    for (int wy = 0; wy < py; ++wy) {
+      for (int wx = 0; wx < px; ++wx, ++row) {
+        size_t d = 0;
+        for (int dy = 0; dy < window; ++dy) {
+          for (int dx = 0; dx < window; ++dx, ++d) {
+            feature_values[d][row] =
+                pixels[(wy * stride + dy) * images.width + wx * stride + dx];
+          }
+        }
+        labels[row] = images.labels[img];
+      }
+    }
+  });
+
+  std::vector<ColumnMeta> metas;
+  std::vector<ColumnPtr> cols;
+  for (size_t d = 0; d < dims; ++d) {
+    std::string name = "p" + std::to_string(d);
+    cols.push_back(Column::Numeric(name, std::move(feature_values[d])));
+    metas.push_back(ColumnMeta{name, DataType::kNumeric, 0});
+  }
+  cols.push_back(Column::Categorical("Y", labels, images.num_classes));
+  metas.push_back(
+      ColumnMeta{"Y", DataType::kCategorical, images.num_classes});
+  int target = static_cast<int>(cols.size()) - 1;
+  auto table = DataTable::Make(
+      Schema(std::move(metas), target, TaskKind::kClassification),
+      std::move(cols));
+  TS_CHECK(table.ok()) << table.status().ToString();
+  return std::move(table).value();
+}
+
+std::vector<std::vector<float>> ExtractWindowFeatures(
+    const std::vector<ForestModel>& forests, const DataTable& window_table,
+    size_t num_images, int num_threads) {
+  TS_CHECK(num_images > 0);
+  const size_t positions = window_table.num_rows() / num_images;
+  const int classes = window_table.schema().num_classes();
+  std::vector<std::vector<float>> out(num_images);
+  ParallelFor(num_images, num_threads, [&](size_t img) {
+    std::vector<float>& feat = out[img];
+    feat.reserve(positions * forests.size() * classes);
+    for (size_t p = 0; p < positions; ++p) {
+      size_t row = img * positions + p;
+      for (const ForestModel& forest : forests) {
+        std::vector<float> pmf = forest.PredictPmf(window_table, row);
+        feat.insert(feat.end(), pmf.begin(), pmf.end());
+      }
+    }
+  });
+  return out;
+}
+
+ForestModel DeepForestTrainer::TrainForestJob(const DataTable& table,
+                                              int trees, int max_depth,
+                                              bool extra_trees,
+                                              uint64_t seed) {
+  TreeServerCluster cluster(table, engine_);
+  ForestJobSpec spec;
+  spec.num_trees = trees;
+  spec.tree.max_depth = max_depth;
+  spec.tree.extra_trees = extra_trees;
+  spec.sqrt_columns = true;  // random-forest column sampling
+  spec.seed = seed;
+  return cluster.TrainForest(spec);
+}
+
+DeepForestModel DeepForestTrainer::Train(const ImageDataset& train,
+                                         const ImageDataset& test,
+                                         std::vector<DeepForestStep>* steps) {
+  DeepForestModel model;
+  model.config_ = config_;
+  model.num_classes_ = train.num_classes;
+  model.width_ = train.width;
+  model.height_ = train.height;
+
+  auto log_step = [&](DeepForestStep step) {
+    if (steps != nullptr) steps->push_back(std::move(step));
+  };
+
+  // ---- "slide": window extraction for all window sizes (row-parallel).
+  const MgsConfig& mgs = config_.mgs;
+  std::vector<DataTable> train_windows;
+  std::vector<DataTable> test_windows;
+  {
+    WallTimer train_timer;
+    for (int w : mgs.window_sizes) {
+      train_windows.push_back(
+          BuildWindowTable(train, w, mgs.stride, config_.extract_threads));
+    }
+    double train_s = train_timer.Seconds();
+    WallTimer test_timer;
+    for (int w : mgs.window_sizes) {
+      test_windows.push_back(
+          BuildWindowTable(test, w, mgs.stride, config_.extract_threads));
+    }
+    log_step(DeepForestStep{"slide", train_s, test_timer.Seconds(), -1.0});
+  }
+
+  // ---- MGS: train forests per window, then re-represent both sets.
+  std::vector<std::vector<std::vector<float>>> train_rep;  // [window][img]
+  std::vector<std::vector<std::vector<float>>> test_rep;
+  for (size_t wi = 0; wi < mgs.window_sizes.size(); ++wi) {
+    std::string wname = "win" + std::to_string(mgs.window_sizes[wi]);
+    WallTimer train_timer;
+    std::vector<ForestModel> forests;
+    for (int f = 0; f < mgs.forests_per_window; ++f) {
+      bool extra = mgs.second_forest_extra_trees && (f % 2 == 1);
+      forests.push_back(TrainForestJob(
+          train_windows[wi], mgs.trees_per_forest, mgs.max_depth, extra,
+          config_.seed * 1000 + wi * 10 + f));
+    }
+    log_step(DeepForestStep{wname + "train", train_timer.Seconds(), 0, -1.0});
+
+    WallTimer extract_timer;
+    train_rep.push_back(ExtractWindowFeatures(
+        forests, train_windows[wi], train.size(), config_.extract_threads));
+    double extract_train_s = extract_timer.Seconds();
+    WallTimer test_extract_timer;
+    test_rep.push_back(ExtractWindowFeatures(
+        forests, test_windows[wi], test.size(), config_.extract_threads));
+    log_step(DeepForestStep{wname + "extract", extract_train_s,
+                            test_extract_timer.Seconds(), -1.0});
+    model.mgs_.push_back(std::move(forests));
+  }
+  train_windows.clear();
+  test_windows.clear();
+
+  // ---- Cascade forest: layer l consumes the MGS representation of
+  // window (l mod #windows), concatenated with the previous layer's
+  // output features.
+  const CascadeConfig& cf = config_.cascade;
+  std::vector<std::vector<float>> prev_train;  // previous layer outputs
+  std::vector<std::vector<float>> prev_test;
+  for (int layer = 0; layer < cf.num_layers; ++layer) {
+    size_t wi = layer % mgs.window_sizes.size();
+    std::vector<std::vector<float>> train_in =
+        layer == 0 ? train_rep[wi] : ConcatFeatures(prev_train, train_rep[wi]);
+    std::vector<std::vector<float>> test_in =
+        layer == 0 ? test_rep[wi] : ConcatFeatures(prev_test, test_rep[wi]);
+    DataTable train_table =
+        BuildFeatureTable(train_in, train.labels, train.num_classes);
+    DataTable test_table =
+        BuildFeatureTable(test_in, test.labels, test.num_classes);
+
+    std::string lname = "CF" + std::to_string(layer);
+    WallTimer train_timer;
+    std::vector<ForestModel> forests;
+    for (int f = 0; f < cf.forests_per_layer; ++f) {
+      bool extra = cf.use_extra_trees && (f % 2 == 1);
+      forests.push_back(TrainForestJob(train_table, cf.trees_per_forest,
+                                       cf.max_depth, extra,
+                                       config_.seed * 7777 + layer * 10 + f));
+    }
+    log_step(DeepForestStep{lname + "train", train_timer.Seconds(), 0, -1.0});
+
+    WallTimer extract_timer;
+    prev_train =
+        ExtractLayerFeatures(forests, train_table, config_.extract_threads);
+    double extract_train_s = extract_timer.Seconds();
+    WallTimer test_timer;
+    prev_test =
+        ExtractLayerFeatures(forests, test_table, config_.extract_threads);
+    std::vector<int32_t> pred =
+        ArgmaxLabels(prev_test, test.num_classes, cf.forests_per_layer);
+    log_step(DeepForestStep{lname + "extract", extract_train_s,
+                            test_timer.Seconds(),
+                            Accuracy(pred, test.labels)});
+    model.cascade_.push_back(std::move(forests));
+  }
+  return model;
+}
+
+namespace {
+
+void SerializeForestGroups(const std::vector<std::vector<ForestModel>>& groups,
+                           BinaryWriter* w) {
+  w->Write(static_cast<uint32_t>(groups.size()));
+  for (const auto& group : groups) {
+    w->Write(static_cast<uint32_t>(group.size()));
+    for (const ForestModel& forest : group) forest.Serialize(w);
+  }
+}
+
+Status DeserializeForestGroups(BinaryReader* r,
+                               std::vector<std::vector<ForestModel>>* out) {
+  uint32_t groups;
+  TS_RETURN_IF_ERROR(r->Read(&groups));
+  if (groups > 4096) return Status::Corruption("implausible group count");
+  out->assign(groups, {});
+  for (uint32_t g = 0; g < groups; ++g) {
+    uint32_t forests;
+    TS_RETURN_IF_ERROR(r->Read(&forests));
+    if (forests > 65536) return Status::Corruption("implausible forest count");
+    (*out)[g].resize(forests);
+    for (uint32_t f = 0; f < forests; ++f) {
+      TS_RETURN_IF_ERROR(ForestModel::Deserialize(r, &(*out)[g][f]));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void DeepForestModel::Serialize(BinaryWriter* w) const {
+  // Config fields that affect prediction.
+  w->Write(static_cast<uint32_t>(config_.mgs.window_sizes.size()));
+  for (int ws : config_.mgs.window_sizes) w->Write(ws);
+  w->Write(config_.mgs.stride);
+  w->Write(config_.cascade.forests_per_layer);
+  w->Write(num_classes_);
+  w->Write(width_);
+  w->Write(height_);
+  SerializeForestGroups(mgs_, w);
+  SerializeForestGroups(cascade_, w);
+}
+
+Status DeepForestModel::Deserialize(BinaryReader* r, DeepForestModel* out) {
+  uint32_t windows;
+  TS_RETURN_IF_ERROR(r->Read(&windows));
+  if (windows > 256) return Status::Corruption("implausible window count");
+  out->config_.mgs.window_sizes.assign(windows, 0);
+  for (uint32_t i = 0; i < windows; ++i) {
+    TS_RETURN_IF_ERROR(r->Read(&out->config_.mgs.window_sizes[i]));
+  }
+  TS_RETURN_IF_ERROR(r->Read(&out->config_.mgs.stride));
+  TS_RETURN_IF_ERROR(r->Read(&out->config_.cascade.forests_per_layer));
+  TS_RETURN_IF_ERROR(r->Read(&out->num_classes_));
+  TS_RETURN_IF_ERROR(r->Read(&out->width_));
+  TS_RETURN_IF_ERROR(r->Read(&out->height_));
+  TS_RETURN_IF_ERROR(DeserializeForestGroups(r, &out->mgs_));
+  TS_RETURN_IF_ERROR(DeserializeForestGroups(r, &out->cascade_));
+  return Status::OK();
+}
+
+std::vector<int32_t> DeepForestModel::Predict(const ImageDataset& images,
+                                              int num_threads) const {
+  const MgsConfig& mgs = config_.mgs;
+  // MGS re-representation of the input batch.
+  std::vector<std::vector<std::vector<float>>> rep;
+  for (size_t wi = 0; wi < mgs.window_sizes.size(); ++wi) {
+    DataTable window_table = BuildWindowTable(
+        images, mgs.window_sizes[wi], mgs.stride, num_threads);
+    rep.push_back(ExtractWindowFeatures(mgs_[wi], window_table,
+                                        images.size(), num_threads));
+  }
+  // Cascade.
+  std::vector<std::vector<float>> prev;
+  for (size_t layer = 0; layer < cascade_.size(); ++layer) {
+    size_t wi = layer % mgs.window_sizes.size();
+    std::vector<std::vector<float>> in =
+        layer == 0 ? rep[wi] : ConcatFeatures(prev, rep[wi]);
+    DataTable table = BuildFeatureTable(
+        in, std::vector<int32_t>(images.size(), 0), num_classes_);
+    prev = ExtractLayerFeatures(cascade_[layer], table, num_threads);
+  }
+  return ArgmaxLabels(prev, num_classes_,
+                      config_.cascade.forests_per_layer);
+}
+
+double DeepForestModel::EvaluateAccuracy(const ImageDataset& images,
+                                         int num_threads) const {
+  std::vector<int32_t> pred = Predict(images, num_threads);
+  size_t correct = 0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    if (pred[i] == images.labels[i]) ++correct;
+  }
+  return images.size() == 0
+             ? 0.0
+             : static_cast<double>(correct) / images.size();
+}
+
+}  // namespace treeserver

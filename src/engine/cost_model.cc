@@ -1,0 +1,195 @@
+#include "engine/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace treeserver {
+
+ColumnPlacement::ColumnPlacement(const Schema& schema, int num_workers,
+                                 int replication)
+    : num_workers_(num_workers) {
+  TS_CHECK(num_workers > 0);
+  replication = std::clamp(replication, 1, num_workers);
+  holders_.resize(schema.num_columns());
+  int cursor = 0;
+  for (int col = 0; col < schema.num_columns(); ++col) {
+    if (col == schema.target_index()) continue;  // Y lives everywhere
+    for (int r = 0; r < replication; ++r) {
+      holders_[col].push_back((cursor + r) % num_workers);
+    }
+    ++cursor;
+  }
+}
+
+std::vector<int> ColumnPlacement::RemoveWorker(int worker) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int> lost;
+  for (int col = 0; col < static_cast<int>(holders_.size()); ++col) {
+    auto& h = holders_[col];
+    auto it = std::find(h.begin(), h.end(), worker);
+    if (it != h.end()) {
+      h.erase(it);
+      lost.push_back(col);
+      TS_CHECK(!h.empty()) << "column " << col
+                           << " lost all replicas; data is gone";
+    }
+  }
+  return lost;
+}
+
+void ColumnPlacement::AddHolder(int column, int worker) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& h = holders_[column];
+  if (std::find(h.begin(), h.end(), worker) == h.end()) h.push_back(worker);
+}
+
+void LoadMatrix::Apply(const LoadDelta& delta, double scale) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [w, a] : delta.add) {
+    comp_[w] += scale * a[0];
+    send_[w] += scale * a[1];
+    recv_[w] += scale * a[2];
+  }
+}
+
+std::array<double, 3> LoadMatrix::Get(int worker) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {comp_[worker], send_[worker], recv_[worker]};
+}
+
+void LoadMatrix::ClearWorker(int worker) {
+  std::lock_guard<std::mutex> lock(mu_);
+  comp_[worker] = send_[worker] = recv_[worker] = 0.0;
+}
+
+LoadMatrix::ColumnAssignment LoadMatrix::AssignColumnTask(
+    const ColumnPlacement& placement, const std::vector<int>& columns,
+    uint64_t n_rows, int parent_worker, const std::vector<bool>& alive) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ColumnAssignment out;
+  const double n = static_cast<double>(n_rows);
+
+  for (int col : columns) {
+    int best = -1;
+    double best_score = std::numeric_limits<double>::infinity();
+    for (int j : placement.holders(col)) {
+      if (!alive[static_cast<size_t>(j)]) continue;
+      const bool first = out.worker_columns.find(j) == out.worker_columns.end();
+      // Updates (1)+(2) of Section VI apply only on the worker's first
+      // column of this task (I_x is pulled once per worker); the root
+      // task has no I_x transfer at all.
+      double recv_j = recv_[j];
+      double send_pa =
+          parent_worker >= 0 ? send_[parent_worker] : 0.0;
+      if (first && parent_worker >= 0) {
+        recv_j += n;
+        send_pa += n;
+      }
+      // Communication dominates column-tasks: balance max of the two
+      // transfer loads; break ties toward lower compute then lower id.
+      double score = std::max(recv_j, send_pa);
+      double comp_tiebreak = comp_[j] + n;
+      if (best < 0 || score < best_score ||
+          (score == best_score && comp_tiebreak < comp_[best] + n)) {
+        best = j;
+        best_score = score;
+      }
+    }
+    TS_CHECK(best >= 0) << "no live holder for column " << col;
+
+    const bool first =
+        out.worker_columns.find(best) == out.worker_columns.end();
+    if (first && parent_worker >= 0) {
+      recv_[best] += n;
+      out.delta.Add(best, 0, 0, n);
+      send_[parent_worker] += n;
+      out.delta.Add(parent_worker, 0, n, 0);
+    }
+    comp_[best] += n;  // one-pass examination cost per column
+    out.delta.Add(best, n, 0, 0);
+    out.worker_columns[best].push_back(col);
+  }
+  return out;
+}
+
+LoadMatrix::SubtreeAssignment LoadMatrix::AssignSubtreeTask(
+    const ColumnPlacement& placement, const std::vector<int>& columns,
+    uint64_t n_rows, int parent_worker, const std::vector<bool>& alive) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SubtreeAssignment out;
+  const double n = static_cast<double>(std::max<uint64_t>(n_rows, 2));
+
+  // Key worker: minimum current computation load (the subtree build is
+  // CPU-bound), charged |I_x| * |C| * log |I_x|.
+  int key = -1;
+  for (int j = 0; j < num_workers(); ++j) {
+    if (!alive[j]) continue;
+    if (key < 0 || comp_[j] < comp_[key]) key = j;
+  }
+  TS_CHECK(key >= 0) << "no live workers";
+  out.key_worker = key;
+  double build_cost = n * static_cast<double>(columns.size()) * std::log2(n);
+  comp_[key] += build_cost;
+  out.delta.Add(key, build_cost, 0, 0);
+
+  std::vector<bool> pulled_ix(num_workers(), false);
+  // The key worker itself pulls I_x once (for Y and local columns).
+  if (parent_worker >= 0) {
+    recv_[key] += n;
+    out.delta.Add(key, 0, 0, n);
+    send_[parent_worker] += n;
+    out.delta.Add(parent_worker, 0, n, 0);
+  }
+  pulled_ix[key] = true;
+
+  for (int col : columns) {
+    int best = -1;
+    double best_score = std::numeric_limits<double>::infinity();
+    for (int j : placement.holders(col)) {
+      if (!alive[j]) continue;
+      if (j == key) {
+        // Local gather: no transfers at all; strictly preferred.
+        best = j;
+        best_score = -1.0;
+        break;
+      }
+      double recv_j = recv_[j];
+      double send_pa = parent_worker >= 0 ? send_[parent_worker] : 0.0;
+      if (!pulled_ix[j] && parent_worker >= 0) {
+        recv_j += n;
+        send_pa += n;
+      }
+      double send_j = send_[j] + n;
+      double recv_key = recv_[key] + n;
+      double score = std::max(std::max(recv_j, send_pa),
+                              std::max(send_j, recv_key));
+      if (best < 0 || score < best_score) {
+        best = j;
+        best_score = score;
+      }
+    }
+    TS_CHECK(best >= 0) << "no live holder for column " << col;
+
+    if (best != key) {
+      if (!pulled_ix[best] && parent_worker >= 0) {
+        recv_[best] += n;
+        out.delta.Add(best, 0, 0, n);
+        send_[parent_worker] += n;
+        out.delta.Add(parent_worker, 0, n, 0);
+      }
+      pulled_ix[best] = true;
+      send_[best] += n;
+      out.delta.Add(best, 0, n, 0);
+      recv_[key] += n;
+      out.delta.Add(key, 0, 0, n);
+    }
+    out.columns.push_back(col);
+    out.servers.push_back(best);
+  }
+  return out;
+}
+
+}  // namespace treeserver

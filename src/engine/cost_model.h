@@ -1,0 +1,120 @@
+#ifndef TREESERVER_ENGINE_COST_MODEL_H_
+#define TREESERVER_ENGINE_COST_MODEL_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "table/data_table.h"
+
+namespace treeserver {
+
+/// Which worker holds which feature column (k replicas each). The
+/// target column Y is implicitly on every worker and not tracked.
+///
+/// Thread-safe: θ_main reads placements while the fault-tolerance path
+/// (θ_recv) rewrites them after a crash.
+class ColumnPlacement {
+ public:
+  ColumnPlacement(const Schema& schema, int num_workers, int replication);
+
+  /// Worker ids holding a feature column, in placement order.
+  std::vector<int> holders(int column) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return holders_[column];
+  }
+
+  int num_workers() const { return num_workers_; }
+
+  /// Fault tolerance: drops a crashed worker from every column's
+  /// holder list. Returns the columns that lost a replica.
+  std::vector<int> RemoveWorker(int worker);
+
+  /// Re-replicates a column onto an additional worker.
+  void AddHolder(int column, int worker);
+
+ private:
+  int num_workers_;
+  mutable std::mutex mu_;
+  std::vector<std::vector<int>> holders_;  // indexed by column id
+};
+
+/// The per-task workload units the master added to M_work, remembered
+/// so they can be deducted when the task's result arrives (Section VI).
+struct LoadDelta {
+  /// worker -> {comp, send, recv}
+  std::map<int, std::array<double, 3>> add;
+
+  void Add(int worker, double comp, double send, double recv) {
+    auto& a = add[worker];
+    a[0] += comp;
+    a[1] += send;
+    a[2] += recv;
+  }
+};
+
+/// The master's load matrix M_work (Fig. 10): per-worker estimated
+/// computation / sending / receiving workloads, protected by a mutex
+/// so θ_main (assign) and θ_recv (deduct) never interleave updates.
+class LoadMatrix {
+ public:
+  explicit LoadMatrix(int num_workers)
+      : comp_(num_workers, 0.0),
+        send_(num_workers, 0.0),
+        recv_(num_workers, 0.0) {}
+
+  int num_workers() const { return static_cast<int>(comp_.size()); }
+
+  /// Applies a task's accumulated delta (scale = +1 on assignment,
+  /// -1 on completion/revocation).
+  void Apply(const LoadDelta& delta, double scale);
+
+  /// Snapshot for tests/diagnostics.
+  std::array<double, 3> Get(int worker) const;
+
+  // The assignment routines below implement the greedy strategy of
+  // Section VI and mutate the matrix under its lock.
+
+  /// Column-task assignment: for each column pick a live holder
+  /// minimizing the max of the updated communication loads
+  /// (recv of the chosen worker / send of the parent worker), then
+  /// charge the one-pass examination cost. Returns worker -> columns.
+  struct ColumnAssignment {
+    std::map<int, std::vector<int32_t>> worker_columns;
+    LoadDelta delta;
+  };
+  ColumnAssignment AssignColumnTask(const ColumnPlacement& placement,
+                                    const std::vector<int>& columns,
+                                    uint64_t n_rows, int parent_worker,
+                                    const std::vector<bool>& alive);
+
+  /// Subtree-task assignment: the key worker is the live worker with
+  /// minimum computation load; each column is served by a live holder
+  /// minimizing the max of the four updated transfer loads. Charges
+  /// |I_x|*|C|*log|I_x| compute to the key worker.
+  struct SubtreeAssignment {
+    int key_worker = -1;
+    std::vector<int32_t> columns;
+    std::vector<int32_t> servers;  // parallel to columns
+    LoadDelta delta;
+  };
+  SubtreeAssignment AssignSubtreeTask(const ColumnPlacement& placement,
+                                      const std::vector<int>& columns,
+                                      uint64_t n_rows, int parent_worker,
+                                      const std::vector<bool>& alive);
+
+  /// Zeroes a crashed worker's row.
+  void ClearWorker(int worker);
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> comp_;
+  std::vector<double> send_;
+  std::vector<double> recv_;
+};
+
+}  // namespace treeserver
+
+#endif  // TREESERVER_ENGINE_COST_MODEL_H_

@@ -1,0 +1,218 @@
+#ifndef TREESERVER_ENGINE_MASTER_H_
+#define TREESERVER_ENGINE_MASTER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "concurrent/concurrent_hash_map.h"
+#include "concurrent/plan_deque.h"
+#include "engine/cost_model.h"
+#include "engine/messages.h"
+#include "forest/forest.h"
+#include "net/network.h"
+#include "table/data_table.h"
+
+namespace treeserver {
+
+/// Engine tuning knobs (Section III defaults).
+struct EngineConfig {
+  int num_workers = 4;
+  int compers_per_worker = 4;
+  /// k column replicas (k = 2 default: load balancing + fault
+  /// tolerance).
+  int replication = 2;
+  /// τ_D: |D_x| at or below this becomes one subtree-task.
+  uint64_t tau_d = 10000;
+  /// τ_dfs: |D_x| at or below this switches to depth-first scheduling.
+  uint64_t tau_dfs = 80000;
+  /// Maximum trees under construction at any time.
+  int npool = 200;
+  /// Simulated per-endpoint link speed; 0 = unthrottled.
+  double bandwidth_mbps = 0.0;
+  /// Compress data-channel transfers (delta+varint row ids, bit-packed
+  /// categorical values) — the compression extension the paper defers
+  /// to future work. Off by default to match the paper's system.
+  bool compress_transfers = false;
+  uint64_t seed = 42;
+};
+
+/// The TreeServer master (Fig. 5 / Fig. 14(a)).
+///
+/// Owns the plan buffer B_plan (hybrid BFS/DFS deque), the task table
+/// T_task, the load matrix M_work, the tree pool (n_pool), and the
+/// progress table. Runs θ_main (plan fetch + worker assignment) and
+/// θ_recv (task results -> split decisions -> child plans / tree
+/// assembly). The master never touches row data: it sees only split
+/// conditions and statistics.
+class Master {
+ public:
+  Master(std::shared_ptr<const DataTable> table, Network* network,
+         const EngineConfig& config);
+  ~Master();
+
+  Master(const Master&) = delete;
+  Master& operator=(const Master&) = delete;
+
+  void Start();
+  /// Requests loop exit and joins threads (queues closed by caller).
+  void Stop();
+
+  /// Enqueues a training job; trees begin construction as pool slots
+  /// free up. Thread-safe.
+  uint32_t Submit(const ForestJobSpec& spec);
+
+  /// Blocks until the job completes and returns its forest.
+  ForestModel Wait(uint32_t job_id);
+
+  /// Fault tolerance: worker `w` is gone. Revokes and re-plans its
+  /// in-flight tasks; trees whose parent-side row index I_x was lost
+  /// restart from their root. Thread-safe.
+  void OnWorkerCrash(int worker);
+
+  /// Serializes the state the paper's secondary master keeps in sync
+  /// (Appendix E): job specs, completed trees, worker liveness. Safe
+  /// to call while training runs; in-flight trees are simply not in
+  /// the snapshot and restart after a Restore.
+  std::string Checkpoint();
+
+  /// Loads a checkpoint into a fresh (not yet Start()ed) master: done
+  /// trees are kept, unfinished ones will be re-admitted and retrained
+  /// from scratch. Deterministic sampling makes the retrained trees
+  /// identical to what the failed master would have produced.
+  Status Restore(const std::string& checkpoint);
+
+  /// Diagnostics.
+  uint64_t tasks_scheduled() const { return tasks_scheduled_.value(); }
+  uint64_t trees_completed() const { return trees_completed_.value(); }
+  uint64_t trees_restarted() const { return trees_restarted_.value(); }
+  const LoadMatrix& load_matrix() const { return load_; }
+  const ColumnPlacement& placement() const { return placement_; }
+
+ private:
+  /// A node-task not yet assigned to workers.
+  struct Plan {
+    uint32_t tree_id = 0;
+    int32_t node_id = 0;
+    int32_t depth = 0;
+    uint64_t n_rows = 0;
+    int32_t parent_worker = -1;
+    uint64_t parent_task = 0;
+    uint8_t side = 0;
+    int et_retries = 0;  // extra-trees column resamples so far
+  };
+
+  /// T_task entry: a task in flight, or completed but still tracked as
+  /// the delegate for its children's I_x (Section V).
+  struct Entry {
+    std::mutex mu;
+    uint64_t task_id = 0;
+    uint32_t tree_id = 0;
+    int32_t node_id = 0;
+    int32_t depth = 0;
+    uint64_t n_rows = 0;
+    bool is_subtree = false;
+    int32_t parent_worker = -1;
+    uint64_t parent_task = 0;
+    uint8_t side = 0;
+    int et_retries = 0;
+    std::vector<int> workers;
+    int key_worker = -1;
+    int pending = 0;
+    SplitOutcome best;
+    int best_worker = -1;
+    TargetStats node_stats;
+    bool have_stats = false;
+    LoadDelta delta;
+    // Delegate bookkeeping after completion.
+    bool completed = false;
+    int children_done = 0;
+  };
+  using EntryPtr = std::shared_ptr<Entry>;
+
+  /// A tree under construction.
+  struct TreeState {
+    uint32_t tree_id = 0;
+    uint32_t job_id = 0;
+    int tree_index = 0;
+    TreeModel model;
+    std::vector<int> candidates;
+    TaskContext ctx;
+    int pending = 0;  // unfinished node constructions (T_prog)
+    Rng rng;          // extra-trees per-task seeds
+  };
+
+  struct JobState {
+    ForestJobSpec spec;
+    std::vector<TreeModel> trees;
+    int admitted = 0;
+    int done = 0;
+    bool completed = false;
+  };
+
+  void MainLoop();
+  void RecvLoop();
+
+  // θ_main helpers (master_mu_ NOT held unless stated).
+  void AdmitTrees();  // requires master_mu_
+  void SchedulePlan(const Plan& plan);
+
+  // θ_recv helpers.
+  void HandleColumnResponse(const std::string& payload);
+  void HandleSubtreeResult(const std::string& payload);
+  void HandleWorkerCrash(int worker);
+  void ProcessNodeCompletion(const EntryPtr& entry);
+  /// Finalizes a node as a leaf in the tree model. Requires master_mu_.
+  void FinalizeLeaf(TreeState* tree, int32_t node_id, int depth,
+                    const TargetStats& stats);
+  /// Decrements the tree's pending count; flushes the tree when done.
+  /// Requires master_mu_.
+  void TaskFinished(uint32_t tree_id);
+  /// Requires master_mu_ NOT held.
+  void NotifyChildDone(uint64_t parent_task);
+  void SendToWorker(int worker, MsgType type, std::string payload);
+  void InsertPlan(const Plan& plan);  // B_plan head/tail by τ_dfs
+
+  bool LeafByStats(const TargetStats& stats, int depth,
+                   const TaskContext& ctx) const;
+
+  const std::shared_ptr<const DataTable> table_;
+  Network* const network_;
+  const EngineConfig config_;
+
+  ColumnPlacement placement_;
+  LoadMatrix load_;
+  std::vector<bool> alive_;
+
+  PlanDeque<Plan> bplan_;
+  ConcurrentHashMap<uint64_t, EntryPtr> ttask_;
+  std::atomic<uint64_t> next_task_id_{1};
+
+  // Tree/job state, guarded by master_mu_.
+  mutable std::mutex master_mu_;
+  std::condition_variable job_cv_;
+  std::map<uint32_t, TreeState> trees_;
+  std::map<uint32_t, JobState> jobs_;
+  std::deque<uint32_t> job_order_;
+  uint32_t next_tree_id_ = 1;
+  uint32_t next_job_id_ = 1;
+  int active_trees_ = 0;
+
+  Counter tasks_scheduled_;
+  Counter trees_completed_;
+  Counter trees_restarted_;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> stopped_{false};  // Stop() runs once
+  std::thread main_thread_;
+  std::thread recv_thread_;
+};
+
+}  // namespace treeserver
+
+#endif  // TREESERVER_ENGINE_MASTER_H_

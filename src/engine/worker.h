@@ -1,0 +1,156 @@
+#ifndef TREESERVER_ENGINE_WORKER_H_
+#define TREESERVER_ENGINE_WORKER_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "concurrent/blocking_queue.h"
+#include "concurrent/concurrent_hash_map.h"
+#include "engine/messages.h"
+#include "net/network.h"
+#include "table/data_table.h"
+
+namespace treeserver {
+
+/// A TreeServer worker machine (Fig. 7 / Fig. 14(b)).
+///
+/// Runs three kinds of threads:
+///  - θ_main: drains the task channel (plans and verdicts from the
+///    master), posting data requests for new tasks;
+///  - θ_recv: drains the data channel (I_x and column-data traffic),
+///    moving tasks whose data is complete into the task buffer B_task;
+///  - compers: pop ready tasks from B_task, compute, and send results
+///    to the master.
+///
+/// Tasks waiting for data park in the task table T_task without
+/// occupying a comper — the T-thinker suspension that overlaps
+/// communication with computation.
+class Worker {
+ public:
+  Worker(int id, std::shared_ptr<const DataTable> table, Network* network,
+         int num_compers, PeakGauge* task_memory, BusyClock* busy_clock,
+         bool compress_transfers = false);
+  ~Worker();
+
+  Worker(const Worker&) = delete;
+  Worker& operator=(const Worker&) = delete;
+
+  void Start();
+  /// Joins all threads; queues must be closed first (by the cluster).
+  void Join();
+
+  int id() const { return id_; }
+  /// Number of task objects currently parked (for tests/diagnostics).
+  size_t num_pending_tasks() const { return tasks_.size(); }
+  uint64_t tasks_computed() const { return computed_.value(); }
+
+ private:
+  enum class TaskKindTag : uint8_t { kColumn, kSubtree, kServe };
+
+  /// One entry of the worker's task table T_task. Guarded by `mu`
+  /// (threads take a shared_ptr out of the map, then lock).
+  struct TaskState {
+    explicit TaskState(PeakGauge* gauge) : memory_gauge(gauge) {}
+    ~TaskState() {
+      if (memory_gauge != nullptr && mem_bytes > 0) {
+        memory_gauge->Sub(mem_bytes);
+      }
+    }
+
+    std::mutex mu;
+    TaskKindTag kind = TaskKindTag::kColumn;
+    uint32_t tree_id = 0;
+
+    ColumnTaskPlan cplan;
+    SubtreeTaskPlan splan;
+    ColumnDataRequest serve;
+
+    std::shared_ptr<std::vector<uint32_t>> ix;
+    bool sent_to_compute = false;
+
+    // Subtree gathering state.
+    std::vector<int32_t> gathered_cols;
+    std::vector<ColumnPtr> gathered_data;
+    size_t awaiting_remote = 0;
+    bool local_gathered = false;
+
+    // Delegate duty (column-tasks that won the split).
+    bool is_delegate = false;
+    bool split_done = false;
+    SplitCondition delegate_condition;
+    std::shared_ptr<std::vector<uint32_t>> ix_left;
+    std::shared_ptr<std::vector<uint32_t>> ix_right;
+    std::vector<IxRequest> queued_requests;
+
+    // Task-memory accounting (Table III); released by the destructor.
+    PeakGauge* memory_gauge = nullptr;
+    int64_t mem_bytes = 0;
+    void ChargeMemory(int64_t bytes) {
+      mem_bytes += bytes;
+      if (memory_gauge != nullptr) memory_gauge->Add(bytes);
+    }
+  };
+  using TaskPtr = std::shared_ptr<TaskState>;
+
+  struct ReadyTask {
+    TaskKindTag kind;
+    uint64_t task_id;
+  };
+
+  void TaskLoop();
+  void DataLoop();
+  void ComperLoop();
+
+  // Task-channel handlers (θ_main).
+  void HandleColumnTaskPlan(const std::string& payload);
+  void HandleSubtreeTaskPlan(const std::string& payload);
+  void HandleBestSplitNotify(const std::string& payload);
+  void HandleTaskDelete(const std::string& payload);
+  void HandleParentRelease(const std::string& payload);
+  void HandleTreeRevoke(const std::string& payload);
+
+  // Data-channel handlers (θ_recv).
+  void HandleIxRequest(const std::string& payload);
+  void HandleIxResponse(const std::string& payload);
+  void HandleColumnDataRequest(const std::string& payload);
+  void HandleColumnDataResponse(const std::string& payload);
+
+  // Comper computations.
+  void ComputeColumnTask(const TaskPtr& task);
+  void ComputeSubtreeTask(const TaskPtr& task);
+
+  void ServeIx(const TaskPtr& task, const IxRequest& req);
+  void ServeColumns(const TaskPtr& task);
+  /// Gathers this worker's local columns for a subtree task and moves
+  /// it to B_task when all data is present. Caller holds task->mu.
+  void CheckSubtreeReady(const TaskPtr& task, uint64_t task_id);
+
+  TaskPtr Find(uint64_t task_id);
+  std::shared_ptr<std::vector<uint32_t>> IotaRows(uint64_t n) const;
+  void RequestIx(uint64_t parent_task, int parent_worker, uint8_t side,
+                 uint64_t requester_task);
+
+  const int id_;
+  const std::shared_ptr<const DataTable> table_;
+  Network* const network_;
+  const int num_compers_;
+  PeakGauge* const task_memory_;
+  BusyClock* const busy_clock_;
+  const bool compress_transfers_;
+
+  ConcurrentHashMap<uint64_t, TaskPtr> tasks_;
+  BlockingQueue<ReadyTask> btask_;
+  Counter computed_;
+
+  std::thread task_thread_;
+  std::thread data_thread_;
+  std::vector<std::thread> compers_;
+};
+
+}  // namespace treeserver
+
+#endif  // TREESERVER_ENGINE_WORKER_H_

@@ -1,0 +1,109 @@
+#ifndef TREESERVER_FOREST_FOREST_H_
+#define TREESERVER_FOREST_FOREST_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/serial.h"
+#include "common/status.h"
+#include "table/data_table.h"
+#include "tree/model.h"
+#include "tree/trainer.h"
+
+namespace treeserver {
+
+/// Specification of a tree-model training job, as submitted by a
+/// client to the TreeServer master (Fig. 2): a single decision tree is
+/// simply a forest with one tree and column_ratio = 1.
+struct ForestJobSpec {
+  std::string name = "forest";
+  int num_trees = 1;
+  TreeConfig tree;
+  /// |C|/|A|: fraction of feature columns sampled per tree. 1.0 uses
+  /// every column. The paper uses sqrt(|A|)/|A| for random forests;
+  /// use ColumnRatioSqrt to request that.
+  double column_ratio = 1.0;
+  bool sqrt_columns = false;
+  uint64_t seed = 1;
+  /// Job ids (returned by Submit) that must complete before any tree
+  /// of this job is admitted to the pool. This is the paper's
+  /// dependency tracking for boosting/cascade layers (Section III,
+  /// "Tree Scheduling"): bagging jobs run concurrently, boosted layers
+  /// wait for their predecessors.
+  std::vector<uint32_t> depends_on;
+
+  /// Number of candidate columns per tree given |A| = num_features.
+  int ColumnsPerTree(int num_features) const;
+
+  /// Deterministic per-tree candidate set (sorted), derived from the
+  /// job seed and the tree's position. The master and the serial
+  /// reference both use this so their outputs coincide.
+  std::vector<int> SampleColumns(const Schema& schema, int tree_index) const;
+
+  /// Deterministic per-tree rng (only consumed by extra-trees).
+  Rng TreeRng(int tree_index) const;
+
+  /// Wire form (master checkpoints carry job specs).
+  void Serialize(BinaryWriter* w) const;
+  static Status Deserialize(BinaryReader* r, ForestJobSpec* out);
+};
+
+/// A bag of trained trees with averaged prediction (bagging).
+class ForestModel {
+ public:
+  ForestModel() = default;
+  ForestModel(TaskKind kind, int num_classes)
+      : kind_(kind), num_classes_(num_classes) {}
+
+  TaskKind kind() const { return kind_; }
+  int num_classes() const { return num_classes_; }
+
+  void AddTree(TreeModel tree) { trees_.push_back(std::move(tree)); }
+  size_t num_trees() const { return trees_.size(); }
+  const TreeModel& tree(size_t i) const { return trees_[i]; }
+  const std::vector<TreeModel>& trees() const { return trees_; }
+
+  /// Average of per-tree PMFs (classification).
+  std::vector<float> PredictPmf(const DataTable& table, size_t row,
+                                int max_depth = -1) const;
+  int32_t PredictLabel(const DataTable& table, size_t row,
+                       int max_depth = -1) const;
+  /// Average of per-tree values (regression).
+  double PredictValue(const DataTable& table, size_t row,
+                      int max_depth = -1) const;
+
+  void Serialize(BinaryWriter* w) const;
+  static Status Deserialize(BinaryReader* r, ForestModel* out);
+
+ private:
+  TaskKind kind_ = TaskKind::kClassification;
+  int num_classes_ = 0;
+  std::vector<TreeModel> trees_;
+};
+
+/// Fraction of test rows whose predicted label matches (classification).
+double EvaluateAccuracy(const ForestModel& model, const DataTable& test);
+
+/// Root-mean-square error of predicted values (regression).
+double EvaluateRmse(const ForestModel& model, const DataTable& test);
+
+/// Accuracy (classification) or RMSE (regression), matching how the
+/// paper's tables report "Accuracy" (RMSE for Allstate).
+double EvaluateMetric(const ForestModel& model, const DataTable& test);
+
+/// Serial (optionally multi-threaded over trees) reference trainer for
+/// a forest job. The distributed engine must produce the same trees.
+ForestModel TrainForestSerial(const DataTable& table,
+                              const ForestJobSpec& spec, int num_threads = 1);
+
+/// Mean-decrease-in-impurity feature importance: per column, the sum
+/// over all splits of gain x rows, averaged over trees and normalized
+/// to sum to 1 (all-zero if the forest never split). Indexed by column
+/// id; the target column's entry is always 0.
+std::vector<double> FeatureImportance(const ForestModel& model,
+                                      const Schema& schema);
+
+}  // namespace treeserver
+
+#endif  // TREESERVER_FOREST_FOREST_H_

@@ -1,0 +1,103 @@
+#include "net/network.h"
+
+#include <chrono>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace treeserver {
+
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Network::Network(int num_workers, double bandwidth_mbps)
+    : num_workers_(num_workers),
+      bytes_per_second_(bandwidth_mbps * 1e6 / 8.0),
+      sent_(num_workers + 1),
+      recv_(num_workers + 1),
+      crashed_(num_workers + 1) {
+  TS_CHECK(num_workers > 0);
+  for (int i = 0; i < num_workers; ++i) {
+    task_queues_.push_back(std::make_unique<BlockingQueue<Message>>());
+    data_queues_.push_back(std::make_unique<BlockingQueue<Message>>());
+  }
+  master_queue_ = std::make_unique<BlockingQueue<Message>>();
+  for (int i = 0; i <= num_workers; ++i) {
+    links_.push_back(std::make_unique<LinkState>());
+    crashed_[i].store(false, std::memory_order_relaxed);
+  }
+}
+
+bool Network::Send(ChannelKind channel, Message msg) {
+  const int src = msg.src;
+  const int dst = msg.dst;
+  if (src != kMasterRank && crashed_[Index(src)].load()) return false;
+  if (dst != kMasterRank && crashed_[Index(dst)].load()) return false;
+
+  const bool local = src == dst;
+  if (!local) {
+    uint64_t bytes = msg.payload.size() + kHeaderBytes;
+    sent_[Index(src)].Add(bytes);
+    recv_[Index(dst)].Add(bytes);
+    if (bytes_per_second_ > 0) Throttle(src, bytes);
+  }
+
+  if (dst == kMasterRank) return master_queue_->Push(std::move(msg));
+  BlockingQueue<Message>& q = channel == ChannelKind::kTask
+                                  ? *task_queues_[dst]
+                                  : *data_queues_[dst];
+  return q.Push(std::move(msg));
+}
+
+void Network::Throttle(int src, uint64_t bytes) {
+  const double duration = static_cast<double>(bytes) / bytes_per_second_;
+  double wait = 0.0;
+  {
+    LinkState& link = *links_[Index(src)];
+    std::lock_guard<std::mutex> lock(link.mu);
+    double now = NowSeconds();
+    double start = link.next_free > now ? link.next_free : now;
+    link.next_free = start + duration;
+    wait = link.next_free - now;
+  }
+  if (wait > 1e-6) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(wait));
+  }
+}
+
+void Network::SetCrashed(int worker) {
+  TS_CHECK(worker >= 0 && worker < num_workers_);
+  crashed_[Index(worker)].store(true, std::memory_order_relaxed);
+  task_queues_[worker]->Close();
+  data_queues_[worker]->Close();
+}
+
+bool Network::IsCrashed(int worker) const {
+  return crashed_[Index(worker)].load(std::memory_order_relaxed);
+}
+
+void Network::CloseAll() {
+  for (auto& q : task_queues_) q->Close();
+  for (auto& q : data_queues_) q->Close();
+  master_queue_->Close();
+}
+
+uint64_t Network::total_bytes() const {
+  uint64_t total = 0;
+  for (const Counter& c : sent_) total += c.value();
+  return total;
+}
+
+void Network::ResetCounters() {
+  for (Counter& c : sent_) c.Reset();
+  for (Counter& c : recv_) c.Reset();
+}
+
+}  // namespace treeserver

@@ -1,0 +1,119 @@
+#ifndef TREESERVER_NET_NETWORK_H_
+#define TREESERVER_NET_NETWORK_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "concurrent/blocking_queue.h"
+
+namespace treeserver {
+
+/// Endpoint id of the master (workers are 0..num_workers-1).
+inline constexpr int kMasterRank = -1;
+
+/// One simulated network message. `type` is interpreted by the engine
+/// (see engine/messages.h); the network treats the payload as opaque
+/// bytes and only accounts/throttles them.
+struct Message {
+  int src = kMasterRank;
+  int dst = kMasterRank;
+  uint32_t type = 0;
+  std::string payload;
+};
+
+/// The two channel classes of Fig. 6: Task Comm (master <-> workers)
+/// and Data Comm (worker <-> worker).
+enum class ChannelKind : uint8_t {
+  kTask = 0,
+  kData = 1,
+};
+
+/// In-process stand-in for the cluster interconnect.
+///
+/// Every worker owns two mailboxes (task / data); the master owns one.
+/// Send() counts the serialized bytes per endpoint and, when a
+/// bandwidth is configured, *blocks the sending thread* for
+/// bytes/bandwidth to model a saturated NIC — this is what reproduces
+/// the network-bound flattening of Table VI. Local (src == dst)
+/// deliveries are free, mirroring TreeServer's "skip communication
+/// when the requested data is local".
+class Network {
+ public:
+  /// bandwidth_mbps: per-endpoint outbound link speed in megabits/s;
+  /// 0 disables throttling.
+  Network(int num_workers, double bandwidth_mbps);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  int num_workers() const { return num_workers_; }
+
+  /// Routes a message. Returns false if it was dropped (destination
+  /// crashed or queue closed). Messages from a crashed source are also
+  /// dropped, modeling a dead host.
+  bool Send(ChannelKind channel, Message msg);
+
+  BlockingQueue<Message>& task_queue(int worker) {
+    return *task_queues_[worker];
+  }
+  BlockingQueue<Message>& data_queue(int worker) {
+    return *data_queues_[worker];
+  }
+  BlockingQueue<Message>& master_queue() { return *master_queue_; }
+
+  /// Marks a worker as crashed: all of its traffic is dropped from now
+  /// on, and its queues are closed so its threads terminate.
+  void SetCrashed(int worker);
+  bool IsCrashed(int worker) const;
+
+  /// Closes every queue (engine shutdown).
+  void CloseAll();
+
+  /// Per-endpoint traffic counters (payload + fixed header bytes).
+  uint64_t bytes_sent(int endpoint) const {
+    return sent_[Index(endpoint)].value();
+  }
+  uint64_t bytes_received(int endpoint) const {
+    return recv_[Index(endpoint)].value();
+  }
+  uint64_t total_bytes() const;
+  void ResetCounters();
+
+ private:
+  /// Fixed per-message overhead charged on top of the payload.
+  static constexpr uint64_t kHeaderBytes = 24;
+
+  size_t Index(int endpoint) const {
+    return endpoint == kMasterRank ? static_cast<size_t>(num_workers_)
+                                   : static_cast<size_t>(endpoint);
+  }
+
+  void Throttle(int src, uint64_t bytes);
+
+  const int num_workers_;
+  const double bytes_per_second_;  // 0 = unthrottled
+
+  std::vector<std::unique_ptr<BlockingQueue<Message>>> task_queues_;
+  std::vector<std::unique_ptr<BlockingQueue<Message>>> data_queues_;
+  std::unique_ptr<BlockingQueue<Message>> master_queue_;
+
+  // One counter slot per worker plus one for the master.
+  std::vector<Counter> sent_;
+  std::vector<Counter> recv_;
+  std::vector<std::atomic<bool>> crashed_;
+
+  // Per-endpoint token bucket: next instant the link is free.
+  struct LinkState {
+    std::mutex mu;
+    double next_free = 0.0;  // seconds on the steady clock
+  };
+  std::vector<std::unique_ptr<LinkState>> links_;
+};
+
+}  // namespace treeserver
+
+#endif  // TREESERVER_NET_NETWORK_H_

@@ -1,0 +1,49 @@
+#include "table/column.h"
+
+namespace treeserver {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kNumeric:
+      return "numeric";
+    case DataType::kCategorical:
+      return "categorical";
+  }
+  return "?";
+}
+
+std::shared_ptr<Column> Column::Numeric(std::string name,
+                                        std::vector<double> values) {
+  auto col = std::shared_ptr<Column>(new Column());
+  col->type_ = DataType::kNumeric;
+  col->name_ = std::move(name);
+  col->num_ = std::move(values);
+  return col;
+}
+
+std::shared_ptr<Column> Column::Categorical(std::string name,
+                                            std::vector<int32_t> codes,
+                                            int32_t cardinality) {
+  auto col = std::shared_ptr<Column>(new Column());
+  col->type_ = DataType::kCategorical;
+  col->name_ = std::move(name);
+  col->cat_ = std::move(codes);
+  col->cardinality_ = cardinality;
+  return col;
+}
+
+std::shared_ptr<Column> Column::Gather(
+    const std::vector<uint32_t>& rows) const {
+  if (type_ == DataType::kNumeric) {
+    std::vector<double> out;
+    out.reserve(rows.size());
+    for (uint32_t r : rows) out.push_back(num_[r]);
+    return Numeric(name_, std::move(out));
+  }
+  std::vector<int32_t> out;
+  out.reserve(rows.size());
+  for (uint32_t r : rows) out.push_back(cat_[r]);
+  return Categorical(name_, std::move(out), cardinality_);
+}
+
+}  // namespace treeserver

@@ -1,0 +1,107 @@
+#ifndef TREESERVER_TABLE_COLUMN_H_
+#define TREESERVER_TABLE_COLUMN_H_
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace treeserver {
+
+/// Physical type of a table column. The paper distinguishes ordinal
+/// (numeric) attributes, split by "A_i <= v", from categorical
+/// attributes, split by "A_i in S_l".
+enum class DataType : uint8_t {
+  kNumeric = 0,
+  kCategorical = 1,
+};
+
+const char* DataTypeName(DataType type);
+
+/// Sentinel for a missing categorical value.
+inline constexpr int32_t kMissingCategory = -1;
+
+/// Returns a quiet NaN, the in-band representation of a missing
+/// numeric value.
+inline double MissingNumeric() {
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+inline bool IsMissingNumeric(double v) { return std::isnan(v); }
+
+/// An immutable, fully materialized attribute column.
+///
+/// TreeServer's data layout is columnar: every worker holds entire
+/// columns (Section III), so the column is the unit of storage,
+/// transfer and replication. Numeric values use double with NaN for
+/// missing; categorical values use dense codes [0, cardinality) with
+/// -1 for missing.
+class Column {
+ public:
+  /// Creates a numeric column.
+  static std::shared_ptr<Column> Numeric(std::string name,
+                                         std::vector<double> values);
+
+  /// Creates a categorical column with codes in [0, cardinality).
+  static std::shared_ptr<Column> Categorical(std::string name,
+                                             std::vector<int32_t> codes,
+                                             int32_t cardinality);
+
+  DataType type() const { return type_; }
+  const std::string& name() const { return name_; }
+  size_t size() const {
+    return type_ == DataType::kNumeric ? num_.size() : cat_.size();
+  }
+
+  /// Distinct-category count; only meaningful for categorical columns.
+  int32_t cardinality() const { return cardinality_; }
+
+  const std::vector<double>& numeric_values() const {
+    TS_DCHECK(type_ == DataType::kNumeric);
+    return num_;
+  }
+  const std::vector<int32_t>& categorical_codes() const {
+    TS_DCHECK(type_ == DataType::kCategorical);
+    return cat_;
+  }
+
+  double numeric_at(size_t row) const { return num_[row]; }
+  int32_t category_at(size_t row) const { return cat_[row]; }
+
+  bool IsMissing(size_t row) const {
+    return type_ == DataType::kNumeric ? IsMissingNumeric(num_[row])
+                                       : cat_[row] == kMissingCategory;
+  }
+
+  /// Bytes of payload this column occupies (used for the simulated
+  /// network/memory accounting).
+  size_t ByteSize() const {
+    return type_ == DataType::kNumeric ? num_.size() * sizeof(double)
+                                       : cat_.size() * sizeof(int32_t);
+  }
+
+  /// Materializes the subset of values at `rows` as a new column with
+  /// the same type/name. This models extracting D_x values to serve a
+  /// subtree-task's data request.
+  std::shared_ptr<Column> Gather(const std::vector<uint32_t>& rows) const;
+
+ private:
+  Column() = default;
+
+  DataType type_ = DataType::kNumeric;
+  std::string name_;
+  std::vector<double> num_;
+  std::vector<int32_t> cat_;
+  int32_t cardinality_ = 0;
+};
+
+using ColumnPtr = std::shared_ptr<Column>;
+
+}  // namespace treeserver
+
+#endif  // TREESERVER_TABLE_COLUMN_H_

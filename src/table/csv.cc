@@ -1,0 +1,188 @@
+#include "table/csv.h"
+
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+namespace treeserver {
+
+namespace {
+
+// Splits one CSV line on the delimiter. No quoting support: the data
+// this library generates and consumes is plain numeric/categorical.
+std::vector<std::string> SplitLine(const std::string& line, char delim) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : line) {
+    if (c == delim) {
+      out.push_back(cur);
+      cur.clear();
+    } else if (c != '\r') {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  const char* begin = s.data();
+  const char* end = begin + s.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc() && ptr == end;
+}
+
+bool IsNa(const std::string& token, const CsvOptions& options) {
+  for (const std::string& na : options.na_values) {
+    if (token == na) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<DataTable> ReadCsvString(const std::string& text,
+                                const CsvOptions& options) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("CSV: empty input");
+  }
+  std::vector<std::string> names = SplitLine(line, options.delimiter);
+  const int m = static_cast<int>(names.size());
+  if (m == 0) return Status::InvalidArgument("CSV: no columns");
+
+  std::vector<std::vector<std::string>> cells(m);
+  size_t n_rows = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<std::string> tokens = SplitLine(line, options.delimiter);
+    if (static_cast<int>(tokens.size()) != m) {
+      return Status::InvalidArgument("CSV: row " + std::to_string(n_rows + 1) +
+                                     " has " + std::to_string(tokens.size()) +
+                                     " fields, expected " + std::to_string(m));
+    }
+    for (int j = 0; j < m; ++j) cells[j].push_back(std::move(tokens[j]));
+    ++n_rows;
+  }
+  if (n_rows == 0) return Status::InvalidArgument("CSV: no data rows");
+
+  // Type inference: numeric iff all non-missing tokens parse as double.
+  std::vector<bool> is_numeric(m, true);
+  for (int j = 0; j < m; ++j) {
+    bool any_value = false;
+    for (const std::string& tok : cells[j]) {
+      if (IsNa(tok, options)) continue;
+      any_value = true;
+      double v;
+      if (!ParseDouble(tok, &v)) {
+        is_numeric[j] = false;
+        break;
+      }
+    }
+    if (!any_value) is_numeric[j] = false;  // all-missing: categorical
+  }
+
+  int target = m - 1;
+  if (!options.target_column.empty()) {
+    target = -1;
+    for (int j = 0; j < m; ++j) {
+      if (names[j] == options.target_column) target = j;
+    }
+    if (target < 0) {
+      return Status::NotFound("CSV: target column '" + options.target_column +
+                              "' not in header");
+    }
+  }
+
+  TaskKind kind = options.has_task_kind
+                      ? options.task_kind
+                      : (is_numeric[target] ? TaskKind::kRegression
+                                            : TaskKind::kClassification);
+  if (kind == TaskKind::kClassification && is_numeric[target]) {
+    // A numeric-looking label column (e.g. digits 0..9) is re-read as
+    // categorical so classification works out of the box.
+    is_numeric[target] = false;
+  }
+  if (kind == TaskKind::kRegression && !is_numeric[target]) {
+    return Status::InvalidArgument("CSV: regression target is not numeric");
+  }
+
+  std::vector<ColumnMeta> metas(m);
+  std::vector<ColumnPtr> cols(m);
+  for (int j = 0; j < m; ++j) {
+    if (is_numeric[j]) {
+      std::vector<double> values;
+      values.reserve(n_rows);
+      for (const std::string& tok : cells[j]) {
+        if (IsNa(tok, options)) {
+          values.push_back(MissingNumeric());
+        } else {
+          double v;
+          ParseDouble(tok, &v);
+          values.push_back(v);
+        }
+      }
+      cols[j] = Column::Numeric(names[j], std::move(values));
+      metas[j] = ColumnMeta{names[j], DataType::kNumeric, 0};
+    } else {
+      std::unordered_map<std::string, int32_t> dict;
+      std::vector<int32_t> codes;
+      codes.reserve(n_rows);
+      for (const std::string& tok : cells[j]) {
+        if (IsNa(tok, options)) {
+          codes.push_back(kMissingCategory);
+          continue;
+        }
+        auto [it, inserted] =
+            dict.emplace(tok, static_cast<int32_t>(dict.size()));
+        codes.push_back(it->second);
+      }
+      int32_t card = static_cast<int32_t>(dict.size());
+      cols[j] = Column::Categorical(names[j], std::move(codes), card);
+      metas[j] = ColumnMeta{names[j], DataType::kCategorical, card};
+    }
+  }
+
+  return DataTable::Make(Schema(std::move(metas), target, kind),
+                         std::move(cols));
+}
+
+Result<DataTable> ReadCsvFile(const std::string& path,
+                              const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ReadCsvString(buf.str(), options);
+}
+
+std::string WriteCsvString(const DataTable& table, char delimiter) {
+  std::ostringstream out;
+  const Schema& schema = table.schema();
+  for (int j = 0; j < table.num_columns(); ++j) {
+    if (j > 0) out << delimiter;
+    out << schema.column(j).name;
+  }
+  out << "\n";
+  char buf[64];
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    for (int j = 0; j < table.num_columns(); ++j) {
+      if (j > 0) out << delimiter;
+      const ColumnPtr& c = table.column(j);
+      if (c->IsMissing(i)) continue;  // empty field = missing
+      if (c->type() == DataType::kNumeric) {
+        std::snprintf(buf, sizeof(buf), "%.17g", c->numeric_at(i));
+        out << buf;
+      } else {
+        out << "c" << c->category_at(i);
+      }
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace treeserver

@@ -1,0 +1,45 @@
+#ifndef TREESERVER_TABLE_CSV_H_
+#define TREESERVER_TABLE_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "table/data_table.h"
+
+namespace treeserver {
+
+/// Options controlling CSV ingestion.
+struct CsvOptions {
+  char delimiter = ',';
+  /// Tokens treated as missing values.
+  std::vector<std::string> na_values = {"", "NA", "?", "null", "NULL"};
+  /// Name of the target column. Empty means the last column.
+  std::string target_column;
+  /// Force the learning task; if unset it is inferred: categorical
+  /// target -> classification, numeric target -> regression.
+  bool has_task_kind = false;
+  TaskKind task_kind = TaskKind::kClassification;
+};
+
+/// Parses CSV text (with a header row) into a DataTable.
+///
+/// Column types are inferred: a column whose every non-missing token
+/// parses as a floating-point number is numeric; anything else is
+/// categorical, with codes assigned by a per-column dictionary in
+/// first-appearance order. Mirrors the "flexible user data input like
+/// in pandas" behaviour the paper describes (runtime type inference).
+Result<DataTable> ReadCsvString(const std::string& text,
+                                const CsvOptions& options = CsvOptions());
+
+/// Reads a CSV file from disk.
+Result<DataTable> ReadCsvFile(const std::string& path,
+                              const CsvOptions& options = CsvOptions());
+
+/// Serializes a table back to CSV text (used by tests and the DFS
+/// "put" pipeline). Categorical codes are written as c<code>.
+std::string WriteCsvString(const DataTable& table, char delimiter = ',');
+
+}  // namespace treeserver
+
+#endif  // TREESERVER_TABLE_CSV_H_

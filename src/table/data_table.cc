@@ -1,0 +1,125 @@
+#include "table/data_table.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace treeserver {
+
+const char* TaskKindName(TaskKind kind) {
+  switch (kind) {
+    case TaskKind::kClassification:
+      return "classification";
+    case TaskKind::kRegression:
+      return "regression";
+  }
+  return "?";
+}
+
+std::vector<int> Schema::FeatureIndices() const {
+  std::vector<int> out;
+  out.reserve(columns_.size() - 1);
+  for (int i = 0; i < num_columns(); ++i) {
+    if (i != target_) out.push_back(i);
+  }
+  return out;
+}
+
+DataTable::DataTable(Schema schema, std::vector<ColumnPtr> columns)
+    : schema_(std::move(schema)), columns_(std::move(columns)) {
+  num_rows_ = columns_.empty() ? 0 : columns_[0]->size();
+}
+
+Result<DataTable> DataTable::Make(Schema schema,
+                                  std::vector<ColumnPtr> columns) {
+  if (static_cast<int>(columns.size()) != schema.num_columns()) {
+    return Status::InvalidArgument("column count does not match schema");
+  }
+  if (schema.target_index() < 0 ||
+      schema.target_index() >= schema.num_columns()) {
+    return Status::InvalidArgument("target index out of range");
+  }
+  size_t rows = columns.empty() ? 0 : columns[0]->size();
+  for (int i = 0; i < schema.num_columns(); ++i) {
+    if (columns[i] == nullptr) {
+      return Status::InvalidArgument("null column");
+    }
+    if (columns[i]->size() != rows) {
+      return Status::InvalidArgument("column length mismatch: " +
+                                     columns[i]->name());
+    }
+    if (columns[i]->type() != schema.column(i).type) {
+      return Status::InvalidArgument("column type mismatch: " +
+                                     columns[i]->name());
+    }
+  }
+  const ColumnMeta& target = schema.column(schema.target_index());
+  if (schema.task_kind() == TaskKind::kClassification &&
+      target.type != DataType::kCategorical) {
+    return Status::InvalidArgument(
+        "classification requires a categorical target");
+  }
+  if (schema.task_kind() == TaskKind::kRegression &&
+      target.type != DataType::kNumeric) {
+    return Status::InvalidArgument("regression requires a numeric target");
+  }
+  return DataTable(std::move(schema), std::move(columns));
+}
+
+DataTable DataTable::ForGatheredSubset(Schema schema,
+                                       std::vector<ColumnPtr> columns,
+                                       size_t num_rows) {
+  DataTable t;
+  t.schema_ = std::move(schema);
+  t.columns_ = std::move(columns);
+  t.num_rows_ = num_rows;
+  return t;
+}
+
+size_t DataTable::ByteSize() const {
+  size_t total = 0;
+  for (const ColumnPtr& c : columns_) total += c->ByteSize();
+  return total;
+}
+
+DataTable DataTable::GatherRows(const std::vector<uint32_t>& rows) const {
+  std::vector<ColumnPtr> cols;
+  cols.reserve(columns_.size());
+  for (const ColumnPtr& c : columns_) cols.push_back(c->Gather(rows));
+  return DataTable(schema_, std::move(cols));
+}
+
+std::pair<DataTable, DataTable> DataTable::TrainTestSplit(double test_fraction,
+                                                          Rng* rng) const {
+  std::vector<uint32_t> order(num_rows_);
+  for (size_t i = 0; i < num_rows_; ++i) order[i] = static_cast<uint32_t>(i);
+  rng->Shuffle(&order);
+  size_t test_n = static_cast<size_t>(
+      static_cast<double>(num_rows_) * test_fraction);
+  std::vector<uint32_t> test_rows(order.begin(), order.begin() + test_n);
+  std::vector<uint32_t> train_rows(order.begin() + test_n, order.end());
+  return {GatherRows(train_rows), GatherRows(test_rows)};
+}
+
+DataTable DataTable::WithExtraFeatures(
+    const std::vector<ColumnPtr>& extra) const {
+  std::vector<ColumnMeta> metas;
+  std::vector<ColumnPtr> cols;
+  for (int i = 0; i < num_columns(); ++i) {
+    if (i == schema_.target_index()) continue;
+    metas.push_back(schema_.column(i));
+    cols.push_back(columns_[i]);
+  }
+  for (const ColumnPtr& c : extra) {
+    TS_CHECK(c->size() == num_rows_) << "extra feature length mismatch";
+    metas.push_back(ColumnMeta{c->name(), c->type(), c->cardinality()});
+    cols.push_back(c);
+  }
+  metas.push_back(schema_.column(schema_.target_index()));
+  cols.push_back(columns_[schema_.target_index()]);
+  Schema schema(std::move(metas), static_cast<int>(cols.size()) - 1,
+                schema_.task_kind());
+  return DataTable(std::move(schema), std::move(cols));
+}
+
+}  // namespace treeserver

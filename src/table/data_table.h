@@ -1,0 +1,119 @@
+#ifndef TREESERVER_TABLE_DATA_TABLE_H_
+#define TREESERVER_TABLE_DATA_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "table/column.h"
+
+namespace treeserver {
+
+/// Whether the target attribute Y is a class label or a real value.
+enum class TaskKind : uint8_t {
+  kClassification = 0,
+  kRegression = 1,
+};
+
+const char* TaskKindName(TaskKind kind);
+
+/// Per-column metadata.
+struct ColumnMeta {
+  std::string name;
+  DataType type = DataType::kNumeric;
+  /// Number of distinct categories; 0 for numeric columns.
+  int32_t cardinality = 0;
+};
+
+/// Table schema: the feature columns A_1..A_m plus the designated
+/// target column Y and the learning task kind.
+class Schema {
+ public:
+  Schema() = default;
+  Schema(std::vector<ColumnMeta> columns, int target_index, TaskKind kind)
+      : columns_(std::move(columns)), target_(target_index), kind_(kind) {}
+
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  /// Number of predictive attributes (excludes the target).
+  int num_features() const { return num_columns() - 1; }
+  int target_index() const { return target_; }
+  TaskKind task_kind() const { return kind_; }
+  const ColumnMeta& column(int i) const { return columns_[i]; }
+
+  /// For classification, the number of classes (target cardinality).
+  int num_classes() const {
+    return kind_ == TaskKind::kClassification ? columns_[target_].cardinality
+                                              : 0;
+  }
+
+  /// Indices of all feature columns, in order.
+  std::vector<int> FeatureIndices() const;
+
+ private:
+  std::vector<ColumnMeta> columns_;
+  int target_ = -1;
+  TaskKind kind_ = TaskKind::kClassification;
+};
+
+/// An in-memory columnar data table.
+///
+/// Columns are shared_ptrs so the simulated cluster can hand the same
+/// physical column to several workers (replication factor k) without
+/// copying, while the byte accounting still charges each replica.
+class DataTable {
+ public:
+  DataTable() = default;
+  DataTable(Schema schema, std::vector<ColumnPtr> columns);
+
+  /// Validates column count/length consistency against the schema.
+  static Result<DataTable> Make(Schema schema, std::vector<ColumnPtr> columns);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+
+  const ColumnPtr& column(int i) const { return columns_[i]; }
+  const ColumnPtr& target() const { return columns_[schema_.target_index()]; }
+
+  /// Class label of a row (classification tables only).
+  int32_t label_at(size_t row) const { return target()->category_at(row); }
+  /// Target value of a row (regression tables only).
+  double target_value_at(size_t row) const {
+    return target()->numeric_at(row);
+  }
+
+  /// Total payload bytes across all columns.
+  size_t ByteSize() const;
+
+  /// Returns a new table with only the rows in `rows` (in that order).
+  DataTable GatherRows(const std::vector<uint32_t>& rows) const;
+
+  /// Engine-internal: builds a table whose column vector may contain
+  /// nulls (columns outside a subtree-task's candidate set C); only
+  /// the filled columns may be accessed. `num_rows` is trusted.
+  static DataTable ForGatheredSubset(Schema schema,
+                                     std::vector<ColumnPtr> columns,
+                                     size_t num_rows);
+
+  /// Splits rows into train/test with the given test fraction.
+  /// Deterministic given the rng.
+  std::pair<DataTable, DataTable> TrainTestSplit(double test_fraction,
+                                                 Rng* rng) const;
+
+  /// Returns a table with the same rows but an extra block of feature
+  /// columns appended before the target (used by cascade-forest
+  /// re-representation). The target column and task kind are preserved.
+  DataTable WithExtraFeatures(const std::vector<ColumnPtr>& extra) const;
+
+ private:
+  Schema schema_;
+  std::vector<ColumnPtr> columns_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace treeserver
+
+#endif  // TREESERVER_TABLE_DATA_TABLE_H_

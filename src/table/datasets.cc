@@ -1,0 +1,284 @@
+#include "table/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace treeserver {
+
+std::vector<DatasetProfile> PaperProfiles(double scale, size_t min_rows) {
+  // Row counts and feature mixes from Table I of the paper.
+  struct Raw {
+    const char* name;
+    size_t rows;
+    int num;
+    int cat;
+    int classes;  // 0 = regression
+    double missing;
+  };
+  static const Raw kRaw[] = {
+      {"Allstate", 13184290, 13, 14, 0, 0.05},
+      {"Higgs_boson", 11000000, 28, 0, 2, 0.0},
+      {"MS_LTRC", 723412, 136, 1, 5, 0.0},
+      {"c14B", 473134, 700, 0, 5, 0.0},
+      {"Covtype", 581012, 54, 0, 7, 0.0},
+      {"Poker", 1025010, 0, 11, 10, 0.0},
+      {"KDD99", 4898431, 38, 3, 5, 0.0},
+      {"SUSY", 5000000, 18, 0, 2, 0.0},
+      {"loan_m1", 6372703, 14, 13, 2, 0.0},
+      {"loan_y1", 29581722, 14, 13, 2, 0.0},
+      {"loan_y2", 54468375, 14, 13, 2, 0.0},
+  };
+  std::vector<DatasetProfile> out;
+  for (const Raw& r : kRaw) {
+    DatasetProfile p;
+    p.name = r.name;
+    p.rows = std::max<size_t>(
+        min_rows, static_cast<size_t>(static_cast<double>(r.rows) * scale));
+    p.num_numeric = r.num;
+    p.num_categorical = r.cat;
+    p.num_classes = r.classes;
+    p.missing_fraction = r.missing;
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+DatasetProfile PaperProfile(const std::string& name, double scale,
+                            size_t min_rows) {
+  for (DatasetProfile& p : PaperProfiles(scale, min_rows)) {
+    if (p.name == name) return p;
+  }
+  TS_LOG(kFatal) << "unknown dataset profile: " << name;
+  return DatasetProfile{};
+}
+
+namespace {
+
+// The planted ground-truth concept is a random decision tree over a
+// small set of numeric LATENT factors. Every visible feature is a
+// noisy view of one latent (numeric features mix the latent with
+// uniform noise; categorical features quantize it through a random
+// permutation with occasional flips). This mirrors real tabular data,
+// where informative signals appear redundantly across correlated
+// columns — which is what makes column-sampled forests work and gives
+// exact split finding its measurable edge over binned splits.
+struct ConceptNode {
+  bool leaf = false;
+  int latent = -1;
+  double threshold = 0.0;
+  int left = -1;
+  int right = -1;
+  int32_t label = 0;   // classification leaf output
+  double value = 0.0;  // regression leaf output
+};
+
+struct Concept {
+  std::vector<ConceptNode> nodes;
+  int num_latents = 0;
+
+  int Build(int depth, int max_depth, const DatasetProfile& profile,
+            Rng* rng) {
+    int id = static_cast<int>(nodes.size());
+    nodes.emplace_back();
+    if (depth >= max_depth) {
+      nodes[id].leaf = true;
+      if (profile.num_classes > 0) {
+        nodes[id].label = static_cast<int32_t>(
+            rng->Uniform(static_cast<uint64_t>(profile.num_classes)));
+      } else {
+        nodes[id].value = rng->UniformDouble(0.0, 100.0);
+      }
+      return id;
+    }
+    nodes[id].latent = static_cast<int>(
+        rng->Uniform(static_cast<uint64_t>(num_latents)));
+    // Thresholds away from the extremes keep both branches populated.
+    nodes[id].threshold = rng->UniformDouble(0.3, 0.7);
+    int l = Build(depth + 1, max_depth, profile, rng);
+    int r = Build(depth + 1, max_depth, profile, rng);
+    nodes[id].left = l;
+    nodes[id].right = r;
+    return id;
+  }
+
+  const ConceptNode& Evaluate(const std::vector<double>& latents) const {
+    int id = 0;
+    while (!nodes[id].leaf) {
+      const ConceptNode& node = nodes[id];
+      id = latents[node.latent] <= node.threshold ? node.left : node.right;
+    }
+    return nodes[id];
+  }
+};
+
+}  // namespace
+
+DataTable GenerateTable(const DatasetProfile& profile, uint64_t seed) {
+  Rng rng(seed ^ 0xABCDEF1234567890ULL);
+  const int m = profile.num_features();
+  TS_CHECK(m > 0) << "profile needs at least one feature";
+
+  Concept planted;
+  planted.num_latents = std::max(2, std::min(8, m));
+  planted.Build(0, profile.concept_depth, profile, &rng);
+
+  // Per-feature view parameters.
+  std::vector<int> latent_of(m);
+  std::vector<double> mix(m);  // numeric: weight of the latent signal
+  std::vector<int> cardinalities(m, 0);
+  std::vector<std::vector<int32_t>> perms(m);
+  for (int j = 0; j < m; ++j) {
+    latent_of[j] = j % planted.num_latents;
+    mix[j] = rng.UniformDouble(0.85, 0.98);
+    if (j >= profile.num_numeric) {
+      int card = static_cast<int>(rng.UniformInt(2, 12));
+      cardinalities[j] = card;
+      perms[j].resize(card);
+      for (int c = 0; c < card; ++c) perms[j][c] = c;
+      rng.Shuffle(&perms[j]);
+    }
+  }
+
+  const size_t n = profile.rows;
+  std::vector<std::vector<double>> nums(profile.num_numeric);
+  for (auto& v : nums) v.reserve(n);
+  std::vector<std::vector<int32_t>> cats(profile.num_categorical);
+  for (auto& v : cats) v.reserve(n);
+  std::vector<int32_t> labels;
+  std::vector<double> values;
+  if (profile.num_classes > 0) {
+    labels.reserve(n);
+  } else {
+    values.reserve(n);
+  }
+
+  std::vector<double> latents(planted.num_latents);
+  for (size_t i = 0; i < n; ++i) {
+    for (double& l : latents) l = rng.UniformDouble();
+    const ConceptNode& leaf = planted.Evaluate(latents);
+    if (profile.num_classes > 0) {
+      int32_t y = leaf.label;
+      if (rng.Bernoulli(profile.noise)) {
+        y = static_cast<int32_t>(
+            rng.Uniform(static_cast<uint64_t>(profile.num_classes)));
+      }
+      labels.push_back(y);
+    } else {
+      values.push_back(leaf.value + 100.0 * rng.Normal() * profile.noise);
+    }
+    for (int j = 0; j < m; ++j) {
+      const double lat = latents[latent_of[j]];
+      if (j < profile.num_numeric) {
+        double v = mix[j] * lat + (1.0 - mix[j]) * rng.UniformDouble();
+        if (profile.missing_fraction > 0 &&
+            rng.Bernoulli(profile.missing_fraction)) {
+          v = MissingNumeric();
+        }
+        nums[j].push_back(v);
+      } else {
+        const int card = cardinalities[j];
+        int32_t code = perms[j][std::min<int>(
+            card - 1, static_cast<int>(lat * card))];
+        if (rng.Bernoulli(0.08)) {
+          code = static_cast<int32_t>(
+              rng.Uniform(static_cast<uint64_t>(card)));
+        }
+        if (profile.missing_fraction > 0 &&
+            rng.Bernoulli(profile.missing_fraction)) {
+          code = kMissingCategory;
+        }
+        cats[j - profile.num_numeric].push_back(code);
+      }
+    }
+  }
+
+  std::vector<ColumnMeta> metas;
+  std::vector<ColumnPtr> cols;
+  for (int j = 0; j < profile.num_numeric; ++j) {
+    std::string name = "num" + std::to_string(j);
+    cols.push_back(Column::Numeric(name, std::move(nums[j])));
+    metas.push_back(ColumnMeta{name, DataType::kNumeric, 0});
+  }
+  for (int j = 0; j < profile.num_categorical; ++j) {
+    std::string name = "cat" + std::to_string(j);
+    int32_t card =
+        static_cast<int32_t>(cardinalities[profile.num_numeric + j]);
+    cols.push_back(Column::Categorical(name, std::move(cats[j]), card));
+    metas.push_back(ColumnMeta{name, DataType::kCategorical, card});
+  }
+  if (profile.num_classes > 0) {
+    cols.push_back(Column::Categorical("Y", std::move(labels),
+                                       profile.num_classes));
+    metas.push_back(ColumnMeta{"Y", DataType::kCategorical,
+                               profile.num_classes});
+  } else {
+    cols.push_back(Column::Numeric("Y", std::move(values)));
+    metas.push_back(ColumnMeta{"Y", DataType::kNumeric, 0});
+  }
+  int target = static_cast<int>(cols.size()) - 1;
+  Result<DataTable> table = DataTable::Make(
+      Schema(std::move(metas), target, profile.task_kind()), std::move(cols));
+  TS_CHECK(table.ok()) << table.status().ToString();
+  return std::move(table).value();
+}
+
+ImageDataset GenerateImages(size_t n, uint64_t seed, int width, int height,
+                            int num_classes) {
+  Rng rng(seed ^ 0x1122334455667788ULL);
+  ImageDataset ds;
+  ds.width = width;
+  ds.height = height;
+  ds.num_classes = num_classes;
+
+  const int pixels = width * height;
+  // Each class is a set of random axis-aligned strokes; images are the
+  // class pattern modulated by intensity plus Gaussian pixel noise.
+  // The patterns depend only on the image geometry — NOT on `seed` —
+  // so datasets generated with different seeds (e.g. train vs test)
+  // share the same class definitions.
+  Rng pattern_rng(0x5157EC7A11ULL + static_cast<uint64_t>(width) * 131 +
+                  static_cast<uint64_t>(height) * 17 +
+                  static_cast<uint64_t>(num_classes));
+  std::vector<std::vector<float>> patterns(num_classes,
+                                           std::vector<float>(pixels, 0.0f));
+  for (int c = 0; c < num_classes; ++c) {
+    int strokes = 3 + static_cast<int>(pattern_rng.Uniform(3));
+    for (int s = 0; s < strokes; ++s) {
+      bool horizontal = pattern_rng.Bernoulli(0.5);
+      int len = 6 + static_cast<int>(pattern_rng.Uniform(10));
+      int x = static_cast<int>(
+          pattern_rng.Uniform(static_cast<uint64_t>(width)));
+      int y = static_cast<int>(
+          pattern_rng.Uniform(static_cast<uint64_t>(height)));
+      for (int t = 0; t < len; ++t) {
+        int px = horizontal ? std::min(width - 1, x + t) : x;
+        int py = horizontal ? y : std::min(height - 1, y + t);
+        patterns[c][py * width + px] = 1.0f;
+      }
+    }
+  }
+
+  ds.images.reserve(n);
+  ds.labels.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    int32_t c = static_cast<int32_t>(
+        rng.Uniform(static_cast<uint64_t>(num_classes)));
+    float intensity = 0.45f + 0.55f * static_cast<float>(rng.UniformDouble());
+    std::vector<float> img(pixels);
+    for (int p = 0; p < pixels; ++p) {
+      // Heavy pixel noise plus occasional dropout keeps the task away
+      // from 100% accuracy, like real digit data.
+      float v = patterns[c][p] * intensity +
+                0.25f * static_cast<float>(rng.Normal());
+      if (rng.Bernoulli(0.04)) v = static_cast<float>(rng.UniformDouble());
+      img[p] = std::clamp(v, 0.0f, 1.0f);
+    }
+    ds.images.push_back(std::move(img));
+    ds.labels.push_back(c);
+  }
+  return ds;
+}
+
+}  // namespace treeserver

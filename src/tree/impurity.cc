@@ -1,0 +1,17 @@
+#include "tree/impurity.h"
+
+namespace treeserver {
+
+const char* ImpurityName(Impurity impurity) {
+  switch (impurity) {
+    case Impurity::kGini:
+      return "gini";
+    case Impurity::kEntropy:
+      return "entropy";
+    case Impurity::kVariance:
+      return "variance";
+  }
+  return "?";
+}
+
+}  // namespace treeserver

@@ -1,0 +1,246 @@
+#include "tree/model.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace treeserver {
+
+int32_t TreeModel::AddNode(Node node) {
+  nodes_.push_back(std::move(node));
+  return static_cast<int32_t>(nodes_.size()) - 1;
+}
+
+int TreeModel::MaxDepth() const {
+  int depth = -1;
+  for (const Node& n : nodes_) depth = std::max(depth, static_cast<int>(n.depth));
+  return depth;
+}
+
+size_t TreeModel::NumLeaves() const {
+  size_t leaves = 0;
+  for (const Node& n : nodes_) {
+    if (n.is_leaf()) ++leaves;
+  }
+  return leaves;
+}
+
+const TreeModel::Node& TreeModel::Traverse(const DataTable& table, size_t row,
+                                           int max_depth) const {
+  TS_DCHECK(!nodes_.empty());
+  int32_t id = 0;
+  while (true) {
+    const Node& node = nodes_[id];
+    if (node.is_leaf()) return node;
+    if (max_depth >= 0 && node.depth >= max_depth) return node;
+    const SplitCondition& cond = node.condition;
+    const ColumnPtr& col = table.column(cond.column);
+    SplitCondition::Route route =
+        cond.type == DataType::kNumeric
+            ? cond.RouteNumeric(col->numeric_at(row))
+            : cond.RouteCategory(col->category_at(row));
+    if (route == SplitCondition::Route::kStop) return node;
+    id = route == SplitCondition::Route::kLeft ? node.left : node.right;
+  }
+}
+
+void TreeModel::GraftSubtree(int32_t node_id, const TreeModel& subtree) {
+  TS_CHECK(!subtree.empty());
+  TS_CHECK(nodes_[node_id].is_leaf()) << "can only graft onto a leaf";
+  const int32_t offset = static_cast<int32_t>(nodes_.size()) - 1;
+  const uint16_t base_depth = nodes_[node_id].depth;
+
+  // The subtree root replaces the placeholder node in place; the rest
+  // append at the end with remapped child indices.
+  auto remap = [&](int32_t child) {
+    if (child < 0) return child;
+    return child == 0 ? node_id : child + offset;
+  };
+
+  Node root = subtree.node(0);
+  root.left = remap(root.left);
+  root.right = remap(root.right);
+  root.depth = base_depth;
+  nodes_[node_id] = std::move(root);
+
+  for (size_t i = 1; i < subtree.num_nodes(); ++i) {
+    Node n = subtree.node(static_cast<int32_t>(i));
+    n.left = remap(n.left);
+    n.right = remap(n.right);
+    n.depth = static_cast<uint16_t>(n.depth + base_depth);
+    nodes_.push_back(std::move(n));
+  }
+}
+
+void TreeModel::Serialize(BinaryWriter* w) const {
+  w->Write(static_cast<uint8_t>(kind_));
+  w->Write(static_cast<int32_t>(num_classes_));
+  w->Write(static_cast<uint64_t>(nodes_.size()));
+  for (const Node& n : nodes_) {
+    n.condition.Serialize(w);
+    w->Write(n.left);
+    w->Write(n.right);
+    w->Write(n.n_rows);
+    w->Write(n.depth);
+    w->Write(n.split_gain);
+    w->WriteVector(n.pmf);
+    w->Write(n.label);
+    w->Write(n.value);
+  }
+}
+
+Status TreeModel::Deserialize(BinaryReader* r, TreeModel* out) {
+  uint8_t kind;
+  TS_RETURN_IF_ERROR(r->Read(&kind));
+  out->kind_ = static_cast<TaskKind>(kind);
+  int32_t num_classes;
+  TS_RETURN_IF_ERROR(r->Read(&num_classes));
+  out->num_classes_ = num_classes;
+  uint64_t count;
+  TS_RETURN_IF_ERROR(r->Read(&count));
+  // A node costs > 50 serialized bytes; anything bigger than the
+  // remaining payload is corrupt and must not drive a huge resize.
+  if (count > r->remaining()) {
+    return Status::Corruption("implausible node count");
+  }
+  out->nodes_.clear();
+  out->nodes_.resize(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    Node& n = out->nodes_[i];
+    TS_RETURN_IF_ERROR(SplitCondition::Deserialize(r, &n.condition));
+    TS_RETURN_IF_ERROR(r->Read(&n.left));
+    TS_RETURN_IF_ERROR(r->Read(&n.right));
+    TS_RETURN_IF_ERROR(r->Read(&n.n_rows));
+    TS_RETURN_IF_ERROR(r->Read(&n.depth));
+    TS_RETURN_IF_ERROR(r->Read(&n.split_gain));
+    TS_RETURN_IF_ERROR(r->ReadVector(&n.pmf));
+    TS_RETURN_IF_ERROR(r->Read(&n.label));
+    TS_RETURN_IF_ERROR(r->Read(&n.value));
+  }
+  return Status::OK();
+}
+
+std::string TreeModel::DebugString(const Schema& schema) const {
+  std::string out;
+  // Depth-first, left child first, matching how the tree reads.
+  std::vector<int32_t> stack = {0};
+  if (nodes_.empty()) return "(empty tree)\n";
+  while (!stack.empty()) {
+    int32_t id = stack.back();
+    stack.pop_back();
+    const Node& n = nodes_[id];
+    out.append(2 * n.depth, ' ');
+    char buf[160];
+    if (n.is_leaf()) {
+      if (kind_ == TaskKind::kClassification) {
+        std::snprintf(buf, sizeof(buf), "leaf: class %d (n=%u)\n", n.label,
+                      n.n_rows);
+      } else {
+        std::snprintf(buf, sizeof(buf), "leaf: value %.4g (n=%u)\n", n.value,
+                      n.n_rows);
+      }
+      out += buf;
+      continue;
+    }
+    const ColumnMeta& meta = schema.column(n.condition.column);
+    if (n.condition.type == DataType::kNumeric) {
+      std::snprintf(buf, sizeof(buf), "%s <= %.6g? (n=%u, gain=%.4g)\n",
+                    meta.name.c_str(), n.condition.threshold, n.n_rows,
+                    n.split_gain);
+      out += buf;
+    } else {
+      out += meta.name + " in {";
+      for (size_t i = 0; i < n.condition.left_categories.size(); ++i) {
+        if (i > 0) out += ",";
+        out += std::to_string(n.condition.left_categories[i]);
+      }
+      std::snprintf(buf, sizeof(buf), "}? (n=%u, gain=%.4g)\n", n.n_rows,
+                    n.split_gain);
+      out += buf;
+    }
+    stack.push_back(n.right);
+    stack.push_back(n.left);
+  }
+  return out;
+}
+
+std::string TreeModel::ToDot(const Schema& schema,
+                             const std::string& name) const {
+  std::string out = "digraph " + name + " {\n  node [shape=box];\n";
+  char buf[200];
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    if (n.is_leaf()) {
+      if (kind_ == TaskKind::kClassification) {
+        std::snprintf(buf, sizeof(buf),
+                      "  n%zu [label=\"class %d\\nn=%u\"];\n", i, n.label,
+                      n.n_rows);
+      } else {
+        std::snprintf(buf, sizeof(buf),
+                      "  n%zu [label=\"%.4g\\nn=%u\"];\n", i, n.value,
+                      n.n_rows);
+      }
+      out += buf;
+      continue;
+    }
+    const ColumnMeta& meta = schema.column(n.condition.column);
+    if (n.condition.type == DataType::kNumeric) {
+      std::snprintf(buf, sizeof(buf),
+                    "  n%zu [label=\"%s <= %.4g\\nn=%u\"];\n", i,
+                    meta.name.c_str(), n.condition.threshold, n.n_rows);
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "  n%zu [label=\"%s in S\\nn=%u\"];\n", i,
+                    meta.name.c_str(), n.n_rows);
+    }
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "  n%zu -> n%d [label=\"yes\"];\n  n%zu -> n%d "
+                  "[label=\"no\"];\n",
+                  i, n.left, i, n.right);
+    out += buf;
+  }
+  out += "}\n";
+  return out;
+}
+
+void TreeModel::AccumulateImportance(std::vector<double>* importance) const {
+  for (const Node& n : nodes_) {
+    if (n.is_leaf()) continue;
+    (*importance)[n.condition.column] +=
+        n.split_gain * static_cast<double>(n.n_rows);
+  }
+}
+
+namespace {
+
+bool NodesEqual(const TreeModel& a, int32_t ia, const TreeModel& b,
+                int32_t ib) {
+  const TreeModel::Node& na = a.node(ia);
+  const TreeModel::Node& nb = b.node(ib);
+  if (na.is_leaf() != nb.is_leaf()) return false;
+  if (na.n_rows != nb.n_rows) return false;
+  if (na.depth != nb.depth) return false;
+  if (na.is_leaf()) {
+    return na.label == nb.label && na.pmf == nb.pmf &&
+           std::abs(na.value - nb.value) < 1e-9;
+  }
+  if (!(na.condition == nb.condition)) return false;
+  return NodesEqual(a, na.left, b, nb.left) &&
+         NodesEqual(a, na.right, b, nb.right);
+}
+
+}  // namespace
+
+bool TreeModel::StructurallyEqual(const TreeModel& other) const {
+  if (kind_ != other.kind_ || num_classes_ != other.num_classes_) return false;
+  if (nodes_.empty() || other.nodes_.empty()) {
+    return nodes_.empty() && other.nodes_.empty();
+  }
+  if (nodes_.size() != other.nodes_.size()) return false;
+  // Compare by traversal: node order may differ between the serial
+  // trainer and the task engine, but the trees must coincide.
+  return NodesEqual(*this, 0, other, 0);
+}
+
+}  // namespace treeserver

@@ -1,0 +1,116 @@
+#ifndef TREESERVER_TREE_MODEL_H_
+#define TREESERVER_TREE_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/serial.h"
+#include "common/status.h"
+#include "table/data_table.h"
+#include "tree/split.h"
+
+namespace treeserver {
+
+/// A trained decision tree.
+///
+/// Nodes live in a flat vector; node 0 is the root. Every node —
+/// internal or leaf — stores its prediction (PMF / majority label for
+/// classification, mean for regression), which is the paper's
+/// "predict at any depth" feature (Appendix D): traversal may stop
+/// early on a depth cutoff, a missing value, or a category unseen
+/// during training, and report the current node's prediction.
+class TreeModel {
+ public:
+  struct Node {
+    /// Invalid condition (column < 0) marks a leaf.
+    SplitCondition condition;
+    int32_t left = -1;
+    int32_t right = -1;
+    uint32_t n_rows = 0;
+    uint16_t depth = 0;
+    /// Impurity decrease achieved by this node's split (0 for leaves);
+    /// feeds feature-importance accounting.
+    double split_gain = 0.0;
+    /// Classification outputs.
+    std::vector<float> pmf;
+    int32_t label = 0;
+    /// Regression output.
+    double value = 0.0;
+
+    bool is_leaf() const { return !condition.valid(); }
+  };
+
+  TreeModel() = default;
+  TreeModel(TaskKind kind, int num_classes)
+      : kind_(kind), num_classes_(num_classes) {}
+
+  TaskKind kind() const { return kind_; }
+  int num_classes() const { return num_classes_; }
+
+  /// Appends a node and returns its index.
+  int32_t AddNode(Node node);
+
+  const Node& node(int32_t id) const { return nodes_[id]; }
+  Node& mutable_node(int32_t id) { return nodes_[id]; }
+  size_t num_nodes() const { return nodes_.size(); }
+  bool empty() const { return nodes_.empty(); }
+
+  /// Deepest node depth (root = 0); -1 for an empty tree.
+  int MaxDepth() const;
+  /// Number of leaf nodes.
+  size_t NumLeaves() const;
+
+  /// Walks from the root following split conditions on the given table
+  /// row and returns the node where traversal stops: a leaf, the depth
+  /// cutoff (`max_depth` < 0 disables it), or a kStop route.
+  const Node& Traverse(const DataTable& table, size_t row,
+                       int max_depth = -1) const;
+
+  int32_t PredictLabel(const DataTable& table, size_t row,
+                       int max_depth = -1) const {
+    return Traverse(table, row, max_depth).label;
+  }
+  double PredictValue(const DataTable& table, size_t row,
+                      int max_depth = -1) const {
+    return Traverse(table, row, max_depth).value;
+  }
+  const std::vector<float>& PredictPmf(const DataTable& table, size_t row,
+                                       int max_depth = -1) const {
+    return Traverse(table, row, max_depth).pmf;
+  }
+
+  /// Replaces the leaf `node_id` with the root of `subtree`, appending
+  /// the remaining subtree nodes and fixing indices/depths. This is
+  /// how the master hooks a subtree-task's result onto the tree under
+  /// construction (Fig. 3(b)).
+  void GraftSubtree(int32_t node_id, const TreeModel& subtree);
+
+  void Serialize(BinaryWriter* w) const;
+  static Status Deserialize(BinaryReader* r, TreeModel* out);
+
+  /// Human-readable multi-line rendering of the tree, using the
+  /// schema's column names.
+  std::string DebugString(const Schema& schema) const;
+
+  /// Graphviz dot rendering (one digraph per tree).
+  std::string ToDot(const Schema& schema, const std::string& name) const;
+
+  /// Accumulates impurity-decrease feature importance into
+  /// `importance` (indexed by column id): each split adds
+  /// gain * n_rows.
+  void AccumulateImportance(std::vector<double>* importance) const;
+
+  /// Structural equality (used by tests comparing the distributed
+  /// engine's output against the serial reference trainer).
+  bool StructurallyEqual(const TreeModel& other) const;
+
+ private:
+  TaskKind kind_ = TaskKind::kClassification;
+  int num_classes_ = 0;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace treeserver
+
+#endif  // TREESERVER_TREE_MODEL_H_

@@ -1,0 +1,562 @@
+#include "tree/split.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace treeserver {
+
+namespace {
+
+bool ContainsSorted(const std::vector<int32_t>& v, int32_t x) {
+  return std::binary_search(v.begin(), v.end(), x);
+}
+
+}  // namespace
+
+SplitCondition::Route SplitCondition::RouteNumeric(double v) const {
+  if (IsMissingNumeric(v)) return Route::kStop;
+  return v <= threshold ? Route::kLeft : Route::kRight;
+}
+
+SplitCondition::Route SplitCondition::RouteCategory(int32_t code) const {
+  if (code == kMissingCategory) return Route::kStop;
+  if (ContainsSorted(left_categories, code)) return Route::kLeft;
+  if (ContainsSorted(seen_categories, code)) return Route::kRight;
+  return Route::kStop;  // value unseen during training (Appendix D)
+}
+
+bool SplitCondition::TrainRoutesLeftCategory(int32_t code) const {
+  if (code == kMissingCategory) return missing_to_left;
+  return ContainsSorted(left_categories, code);
+}
+
+void SplitCondition::Serialize(BinaryWriter* w) const {
+  w->Write(column);
+  w->Write(static_cast<uint8_t>(type));
+  w->Write(threshold);
+  w->WriteVector(left_categories);
+  w->WriteVector(seen_categories);
+  w->Write(static_cast<uint8_t>(missing_to_left ? 1 : 0));
+}
+
+Status SplitCondition::Deserialize(BinaryReader* r, SplitCondition* out) {
+  TS_RETURN_IF_ERROR(r->Read(&out->column));
+  uint8_t type;
+  TS_RETURN_IF_ERROR(r->Read(&type));
+  out->type = static_cast<DataType>(type);
+  TS_RETURN_IF_ERROR(r->Read(&out->threshold));
+  TS_RETURN_IF_ERROR(r->ReadVector(&out->left_categories));
+  TS_RETURN_IF_ERROR(r->ReadVector(&out->seen_categories));
+  uint8_t missing;
+  TS_RETURN_IF_ERROR(r->Read(&missing));
+  out->missing_to_left = missing != 0;
+  return Status::OK();
+}
+
+bool SplitCondition::operator==(const SplitCondition& other) const {
+  return column == other.column && type == other.type &&
+         threshold == other.threshold &&
+         left_categories == other.left_categories &&
+         seen_categories == other.seen_categories &&
+         missing_to_left == other.missing_to_left;
+}
+
+void TargetStats::Serialize(BinaryWriter* w) const {
+  w->Write(static_cast<uint8_t>(kind));
+  if (kind == TaskKind::kClassification) {
+    w->WriteVector(cls.counts);
+    w->Write(cls.n);
+  } else {
+    w->Write(reg.n);
+    w->Write(reg.sum);
+    w->Write(reg.sum_sq);
+  }
+}
+
+Status TargetStats::Deserialize(BinaryReader* r, TargetStats* out) {
+  uint8_t kind;
+  TS_RETURN_IF_ERROR(r->Read(&kind));
+  out->kind = static_cast<TaskKind>(kind);
+  if (out->kind == TaskKind::kClassification) {
+    TS_RETURN_IF_ERROR(r->ReadVector(&out->cls.counts));
+    TS_RETURN_IF_ERROR(r->Read(&out->cls.n));
+  } else {
+    TS_RETURN_IF_ERROR(r->Read(&out->reg.n));
+    TS_RETURN_IF_ERROR(r->Read(&out->reg.sum));
+    TS_RETURN_IF_ERROR(r->Read(&out->reg.sum_sq));
+  }
+  return Status::OK();
+}
+
+void SplitOutcome::Serialize(BinaryWriter* w) const {
+  w->Write(static_cast<uint8_t>(valid ? 1 : 0));
+  if (!valid) return;
+  condition.Serialize(w);
+  w->Write(gain);
+  left_stats.Serialize(w);
+  right_stats.Serialize(w);
+}
+
+Status SplitOutcome::Deserialize(BinaryReader* r, SplitOutcome* out) {
+  uint8_t valid;
+  TS_RETURN_IF_ERROR(r->Read(&valid));
+  out->valid = valid != 0;
+  if (!out->valid) return Status::OK();
+  TS_RETURN_IF_ERROR(SplitCondition::Deserialize(r, &out->condition));
+  TS_RETURN_IF_ERROR(r->Read(&out->gain));
+  TS_RETURN_IF_ERROR(TargetStats::Deserialize(r, &out->left_stats));
+  TS_RETURN_IF_ERROR(TargetStats::Deserialize(r, &out->right_stats));
+  return Status::OK();
+}
+
+namespace {
+
+TargetStats MakeStats(const SplitContext& ctx) {
+  return ctx.kind == TaskKind::kClassification
+             ? TargetStats::Classification(ctx.num_classes)
+             : TargetStats::Regression();
+}
+
+void AddRow(TargetStats* stats, const Column& target, uint32_t row) {
+  if (stats->kind == TaskKind::kClassification) {
+    stats->cls.Add(target.category_at(row));
+  } else {
+    stats->reg.Add(target.numeric_at(row));
+  }
+}
+
+// Fills the split condition's bookkeeping and computes the final gain
+// once the children (over non-missing rows) are known: missing rows
+// are routed to the larger child, then gain is measured over all rows.
+void Finish(const SplitContext& ctx, const TargetStats& missing,
+            SplitOutcome* out) {
+  out->condition.missing_to_left =
+      out->left_stats.Count() >= out->right_stats.Count();
+  if (missing.Count() > 0) {
+    if (out->condition.missing_to_left) {
+      out->left_stats.Merge(missing);
+    } else {
+      out->right_stats.Merge(missing);
+    }
+  }
+  TargetStats parent = out->left_stats;
+  parent.Merge(out->right_stats);
+  const double n = static_cast<double>(parent.Count());
+  const double nl = static_cast<double>(out->left_stats.Count());
+  const double nr = static_cast<double>(out->right_stats.Count());
+  double child =
+      (nl * out->left_stats.ImpurityValue(ctx.impurity) +
+       nr * out->right_stats.ImpurityValue(ctx.impurity)) /
+      n;
+  out->gain = parent.ImpurityValue(ctx.impurity) - child;
+  out->valid = true;
+}
+
+// ---------------------------------------------------------------------
+// Case 1 (Appendix B): ordinal attribute, any target. Sort the
+// non-missing (value, y) pairs and scan once, updating left/right
+// sufficient statistics in O(1) per step.
+// ---------------------------------------------------------------------
+
+struct NumericPairCls {
+  double v;
+  int32_t y;
+};
+struct NumericPairReg {
+  double v;
+  double y;
+};
+
+SplitOutcome NumericBestClassification(const Column& feature, int column_index,
+                                       const Column& target,
+                                       const SplitContext& ctx,
+                                       const uint32_t* rows, size_t n) {
+  SplitOutcome out;
+  std::vector<NumericPairCls> pairs;
+  pairs.reserve(n);
+  TargetStats missing = MakeStats(ctx);
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t row = rows ? rows[i] : static_cast<uint32_t>(i);
+    double v = feature.numeric_at(row);
+    if (IsMissingNumeric(v)) {
+      AddRow(&missing, target, row);
+    } else {
+      pairs.push_back({v, target.category_at(row)});
+    }
+  }
+  const size_t k = pairs.size();
+  if (k < 2) return out;
+  std::sort(pairs.begin(), pairs.end(),
+            [](const NumericPairCls& a, const NumericPairCls& b) {
+              return a.v < b.v;
+            });
+
+  ClassStats left(ctx.num_classes);
+  ClassStats right(ctx.num_classes);
+  for (const NumericPairCls& p : pairs) right.Add(p.y);
+
+  double best_score = std::numeric_limits<double>::infinity();
+  size_t best_idx = k;  // sentinel: no candidate
+  const double kd = static_cast<double>(k);
+  for (size_t i = 0; i + 1 < k; ++i) {
+    left.Add(pairs[i].y);
+    right.Remove(pairs[i].y);
+    if (pairs[i].v == pairs[i + 1].v) continue;
+    double score = (static_cast<double>(left.n) *
+                        left.ImpurityValue(ctx.impurity) +
+                    static_cast<double>(right.n) *
+                        right.ImpurityValue(ctx.impurity)) /
+                   kd;
+    if (score < best_score) {
+      best_score = score;
+      best_idx = i;
+    }
+  }
+  if (best_idx == k) return out;  // all values identical
+
+  out.left_stats = MakeStats(ctx);
+  out.right_stats = MakeStats(ctx);
+  for (size_t i = 0; i < k; ++i) {
+    if (i <= best_idx) {
+      out.left_stats.cls.Add(pairs[i].y);
+    } else {
+      out.right_stats.cls.Add(pairs[i].y);
+    }
+  }
+  out.condition.column = column_index;
+  out.condition.type = DataType::kNumeric;
+  out.condition.threshold = pairs[best_idx].v;
+  Finish(ctx, missing, &out);
+  return out;
+}
+
+SplitOutcome NumericBestRegression(const Column& feature, int column_index,
+                                   const Column& target,
+                                   const SplitContext& ctx,
+                                   const uint32_t* rows, size_t n) {
+  SplitOutcome out;
+  std::vector<NumericPairReg> pairs;
+  pairs.reserve(n);
+  TargetStats missing = MakeStats(ctx);
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t row = rows ? rows[i] : static_cast<uint32_t>(i);
+    double v = feature.numeric_at(row);
+    if (IsMissingNumeric(v)) {
+      AddRow(&missing, target, row);
+    } else {
+      pairs.push_back({v, target.numeric_at(row)});
+    }
+  }
+  const size_t k = pairs.size();
+  if (k < 2) return out;
+  std::sort(pairs.begin(), pairs.end(),
+            [](const NumericPairReg& a, const NumericPairReg& b) {
+              return a.v < b.v;
+            });
+
+  RegStats left;
+  RegStats right;
+  for (const NumericPairReg& p : pairs) right.Add(p.y);
+
+  double best_score = std::numeric_limits<double>::infinity();
+  size_t best_idx = k;
+  const double kd = static_cast<double>(k);
+  for (size_t i = 0; i + 1 < k; ++i) {
+    left.Add(pairs[i].y);
+    right.Remove(pairs[i].y);
+    if (pairs[i].v == pairs[i + 1].v) continue;
+    double score = (static_cast<double>(left.n) * left.Variance() +
+                    static_cast<double>(right.n) * right.Variance()) /
+                   kd;
+    if (score < best_score) {
+      best_score = score;
+      best_idx = i;
+    }
+  }
+  if (best_idx == k) return out;
+
+  out.left_stats = MakeStats(ctx);
+  out.right_stats = MakeStats(ctx);
+  for (size_t i = 0; i < k; ++i) {
+    if (i <= best_idx) {
+      out.left_stats.reg.Add(pairs[i].y);
+    } else {
+      out.right_stats.reg.Add(pairs[i].y);
+    }
+  }
+  out.condition.column = column_index;
+  out.condition.type = DataType::kNumeric;
+  out.condition.threshold = pairs[best_idx].v;
+  Finish(ctx, missing, &out);
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Case 3 (Appendix B): categorical attribute, categorical target.
+// Restrict |S_l| = 1 and enumerate the O(|S_i|) one-vs-rest splits.
+// ---------------------------------------------------------------------
+
+SplitOutcome CategoricalClassification(const Column& feature, int column_index,
+                                       const Column& target,
+                                       const SplitContext& ctx,
+                                       const uint32_t* rows, size_t n) {
+  SplitOutcome out;
+  const int32_t card = feature.cardinality();
+  std::vector<ClassStats> per_cat(card, ClassStats(ctx.num_classes));
+  ClassStats total(ctx.num_classes);
+  TargetStats missing = MakeStats(ctx);
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t row = rows ? rows[i] : static_cast<uint32_t>(i);
+    int32_t c = feature.category_at(row);
+    if (c == kMissingCategory) {
+      AddRow(&missing, target, row);
+    } else {
+      per_cat[c].Add(target.category_at(row));
+      total.Add(target.category_at(row));
+    }
+  }
+  if (total.n < 2) return out;
+
+  std::vector<int32_t> seen;
+  for (int32_t c = 0; c < card; ++c) {
+    if (per_cat[c].n > 0) seen.push_back(c);
+  }
+  if (seen.size() < 2) return out;  // only one category present
+
+  double best_score = std::numeric_limits<double>::infinity();
+  int32_t best_cat = -1;
+  const double total_n = static_cast<double>(total.n);
+  ClassStats rest(ctx.num_classes);
+  for (int32_t c : seen) {
+    rest = total;
+    for (size_t j = 0; j < rest.counts.size(); ++j) {
+      rest.counts[j] -= per_cat[c].counts[j];
+    }
+    rest.n -= per_cat[c].n;
+    double score = (static_cast<double>(per_cat[c].n) *
+                        per_cat[c].ImpurityValue(ctx.impurity) +
+                    static_cast<double>(rest.n) *
+                        rest.ImpurityValue(ctx.impurity)) /
+                   total_n;
+    if (score < best_score) {
+      best_score = score;
+      best_cat = c;
+    }
+  }
+  TS_DCHECK(best_cat >= 0);
+
+  out.left_stats = MakeStats(ctx);
+  out.right_stats = MakeStats(ctx);
+  out.left_stats.cls = per_cat[best_cat];
+  out.right_stats.cls = total;
+  for (size_t j = 0; j < total.counts.size(); ++j) {
+    out.right_stats.cls.counts[j] -= per_cat[best_cat].counts[j];
+  }
+  out.right_stats.cls.n -= per_cat[best_cat].n;
+  out.condition.column = column_index;
+  out.condition.type = DataType::kCategorical;
+  out.condition.left_categories = {best_cat};
+  out.condition.seen_categories = std::move(seen);
+  Finish(ctx, missing, &out);
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Case 2 (Appendix B, Breiman et al.): categorical attribute, numeric
+// target. Sort categories by mean target value; the optimal subset
+// split is a prefix of that order, so one pass over groups suffices.
+// ---------------------------------------------------------------------
+
+SplitOutcome CategoricalRegression(const Column& feature, int column_index,
+                                   const Column& target,
+                                   const SplitContext& ctx,
+                                   const uint32_t* rows, size_t n) {
+  SplitOutcome out;
+  const int32_t card = feature.cardinality();
+  std::vector<RegStats> per_cat(card);
+  TargetStats missing = MakeStats(ctx);
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t row = rows ? rows[i] : static_cast<uint32_t>(i);
+    int32_t c = feature.category_at(row);
+    if (c == kMissingCategory) {
+      AddRow(&missing, target, row);
+    } else {
+      per_cat[c].Add(target.numeric_at(row));
+    }
+  }
+
+  std::vector<int32_t> seen;
+  for (int32_t c = 0; c < card; ++c) {
+    if (per_cat[c].n > 0) seen.push_back(c);
+  }
+  if (seen.size() < 2) return out;
+
+  std::vector<int32_t> order = seen;
+  std::sort(order.begin(), order.end(), [&](int32_t a, int32_t b) {
+    return per_cat[a].Mean() < per_cat[b].Mean();
+  });
+
+  RegStats total;
+  for (int32_t c : seen) total.Merge(per_cat[c]);
+
+  RegStats left;
+  RegStats right = total;
+  double best_score = std::numeric_limits<double>::infinity();
+  size_t best_prefix = 0;  // 0 = no candidate
+  const double total_n = static_cast<double>(total.n);
+  for (size_t i = 0; i + 1 < order.size(); ++i) {
+    left.Merge(per_cat[order[i]]);
+    right.n -= per_cat[order[i]].n;
+    right.sum -= per_cat[order[i]].sum;
+    right.sum_sq -= per_cat[order[i]].sum_sq;
+    double score = (static_cast<double>(left.n) * left.Variance() +
+                    static_cast<double>(right.n) * right.Variance()) /
+                   total_n;
+    if (score < best_score) {
+      best_score = score;
+      best_prefix = i + 1;
+    }
+  }
+  if (best_prefix == 0) return out;
+
+  std::vector<int32_t> left_cats(order.begin(), order.begin() + best_prefix);
+  std::sort(left_cats.begin(), left_cats.end());
+
+  out.left_stats = MakeStats(ctx);
+  out.right_stats = MakeStats(ctx);
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (i < best_prefix) {
+      out.left_stats.reg.Merge(per_cat[order[i]]);
+    } else {
+      out.right_stats.reg.Merge(per_cat[order[i]]);
+    }
+  }
+  out.condition.column = column_index;
+  out.condition.type = DataType::kCategorical;
+  out.condition.left_categories = std::move(left_cats);
+  out.condition.seen_categories = std::move(seen);
+  Finish(ctx, missing, &out);
+  return out;
+}
+
+}  // namespace
+
+TargetStats ComputeTargetStats(const Column& target, const SplitContext& ctx,
+                               const uint32_t* rows, size_t n) {
+  TargetStats stats = MakeStats(ctx);
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t row = rows ? rows[i] : static_cast<uint32_t>(i);
+    AddRow(&stats, target, row);
+  }
+  return stats;
+}
+
+SplitOutcome FindBestSplit(const Column& feature, int column_index,
+                           const Column& target, const SplitContext& ctx,
+                           const uint32_t* rows, size_t n) {
+  if (feature.type() == DataType::kNumeric) {
+    return ctx.kind == TaskKind::kClassification
+               ? NumericBestClassification(feature, column_index, target, ctx,
+                                           rows, n)
+               : NumericBestRegression(feature, column_index, target, ctx,
+                                       rows, n);
+  }
+  return ctx.kind == TaskKind::kClassification
+             ? CategoricalClassification(feature, column_index, target, ctx,
+                                         rows, n)
+             : CategoricalRegression(feature, column_index, target, ctx, rows,
+                                     n);
+}
+
+SplitOutcome FindRandomSplit(const Column& feature, int column_index,
+                             const Column& target, const SplitContext& ctx,
+                             const uint32_t* rows, size_t n, Rng* rng) {
+  SplitOutcome out;
+  TargetStats missing = MakeStats(ctx);
+  if (feature.type() == DataType::kNumeric) {
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < n; ++i) {
+      uint32_t row = rows ? rows[i] : static_cast<uint32_t>(i);
+      double v = feature.numeric_at(row);
+      if (IsMissingNumeric(v)) continue;
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    if (!(lo < hi)) return out;  // constant or all-missing column
+    double threshold = rng->UniformDouble(lo, hi);
+    out.left_stats = MakeStats(ctx);
+    out.right_stats = MakeStats(ctx);
+    for (size_t i = 0; i < n; ++i) {
+      uint32_t row = rows ? rows[i] : static_cast<uint32_t>(i);
+      double v = feature.numeric_at(row);
+      if (IsMissingNumeric(v)) {
+        AddRow(&missing, target, row);
+      } else if (v <= threshold) {
+        AddRow(&out.left_stats, target, row);
+      } else {
+        AddRow(&out.right_stats, target, row);
+      }
+    }
+    out.condition.column = column_index;
+    out.condition.type = DataType::kNumeric;
+    out.condition.threshold = threshold;
+    Finish(ctx, missing, &out);
+    return out;
+  }
+
+  // Categorical: pick a random nonempty proper subset of the seen
+  // categories as S_l.
+  const int32_t card = feature.cardinality();
+  std::vector<int64_t> cat_count(card, 0);
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t row = rows ? rows[i] : static_cast<uint32_t>(i);
+    int32_t c = feature.category_at(row);
+    if (c != kMissingCategory) ++cat_count[c];
+  }
+  std::vector<int32_t> seen;
+  for (int32_t c = 0; c < card; ++c) {
+    if (cat_count[c] > 0) seen.push_back(c);
+  }
+  if (seen.size() < 2) return out;
+
+  std::vector<int32_t> left_cats;
+  for (int attempt = 0; attempt < 8 && (left_cats.empty() ||
+                                        left_cats.size() == seen.size());
+       ++attempt) {
+    left_cats.clear();
+    for (int32_t c : seen) {
+      if (rng->Bernoulli(0.5)) left_cats.push_back(c);
+    }
+  }
+  if (left_cats.empty() || left_cats.size() == seen.size()) {
+    left_cats = {seen[rng->Uniform(seen.size())]};
+    if (left_cats.size() == seen.size()) return out;
+  }
+  std::sort(left_cats.begin(), left_cats.end());
+
+  out.left_stats = MakeStats(ctx);
+  out.right_stats = MakeStats(ctx);
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t row = rows ? rows[i] : static_cast<uint32_t>(i);
+    int32_t c = feature.category_at(row);
+    if (c == kMissingCategory) {
+      AddRow(&missing, target, row);
+    } else if (ContainsSorted(left_cats, c)) {
+      AddRow(&out.left_stats, target, row);
+    } else {
+      AddRow(&out.right_stats, target, row);
+    }
+  }
+  out.condition.column = column_index;
+  out.condition.type = DataType::kCategorical;
+  out.condition.left_categories = std::move(left_cats);
+  out.condition.seen_categories = std::move(seen);
+  Finish(ctx, missing, &out);
+  return out;
+}
+
+}  // namespace treeserver

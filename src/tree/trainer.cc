@@ -1,0 +1,171 @@
+#include "tree/trainer.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace treeserver {
+
+void FillNodePrediction(const TargetStats& stats, TreeModel::Node* node) {
+  node->n_rows = static_cast<uint32_t>(stats.Count());
+  if (stats.kind == TaskKind::kClassification) {
+    node->pmf = stats.cls.Pmf();
+    node->label = stats.cls.Majority();
+  } else {
+    node->value = stats.reg.Mean();
+  }
+}
+
+bool SplitBeats(const SplitOutcome& candidate, const SplitOutcome& incumbent) {
+  if (!candidate.valid) return false;
+  if (!incumbent.valid) return true;
+  if (candidate.gain != incumbent.gain) {
+    return candidate.gain > incumbent.gain;
+  }
+  return candidate.condition.column < incumbent.condition.column;
+}
+
+namespace {
+
+struct Frame {
+  int32_t node_id;
+  size_t begin;
+  size_t end;
+  int depth;  // local depth within this (sub)tree
+};
+
+SplitOutcome FindNodeSplit(const DataTable& table, const uint32_t* rows,
+                           size_t n, const std::vector<int>& candidates,
+                           const SplitContext& ctx, const TreeConfig& config,
+                           Rng* rng) {
+  const ColumnPtr& target = table.target();
+  SplitOutcome best;
+  if (config.extra_trees) {
+    // Completely-random tree: resample one column (|C| = 1) per node;
+    // if its random split is degenerate (constant column), try other
+    // columns in random order before giving up.
+    TS_CHECK(rng != nullptr) << "extra_trees requires an rng";
+    std::vector<int> order = candidates;
+    rng->Shuffle(&order);
+    for (int col : order) {
+      SplitOutcome outcome = FindRandomSplit(*table.column(col), col, *target,
+                                             ctx, rows, n, rng);
+      if (outcome.valid) return outcome;
+    }
+    return best;
+  }
+  for (int col : candidates) {
+    SplitOutcome outcome =
+        FindBestSplit(*table.column(col), col, *target, ctx, rows, n);
+    if (SplitBeats(outcome, best)) best = std::move(outcome);
+  }
+  return best;
+}
+
+}  // namespace
+
+TreeModel TrainTree(const DataTable& table, std::vector<uint32_t> rows,
+                    const std::vector<int>& candidate_columns,
+                    const TreeConfig& config, Rng* rng) {
+  const Schema& schema = table.schema();
+  SplitContext ctx{schema.task_kind(), config.impurity, schema.num_classes()};
+  TreeModel model(ctx.kind, ctx.num_classes);
+  if (rows.empty()) {
+    // Degenerate but well-defined: a single empty leaf.
+    TreeModel::Node leaf;
+    if (ctx.kind == TaskKind::kClassification) {
+      leaf.pmf.assign(ctx.num_classes, 0.0f);
+    }
+    model.AddNode(std::move(leaf));
+    return model;
+  }
+
+  const ColumnPtr& target = table.target();
+  std::vector<Frame> stack;
+  {
+    TreeModel::Node root;
+    int32_t id = model.AddNode(std::move(root));
+    stack.push_back(Frame{id, 0, rows.size(), 0});
+  }
+
+  std::vector<uint32_t> scratch;
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    const size_t n = f.end - f.begin;
+    const uint32_t* row_ptr = rows.data() + f.begin;
+
+    TargetStats stats = ComputeTargetStats(*target, ctx, row_ptr, n);
+    TreeModel::Node& node = model.mutable_node(f.node_id);
+    node.depth = static_cast<uint16_t>(f.depth);
+    FillNodePrediction(stats, &node);
+
+    const int global_depth = config.base_depth + f.depth;
+    bool leaf = stats.IsPure() || n <= config.min_leaf ||
+                global_depth >= config.max_depth;
+    if (!leaf) {
+      SplitOutcome best = FindNodeSplit(table, row_ptr, n, candidate_columns,
+                                        ctx, config, rng);
+      if (!best.valid || best.gain <= kMinSplitGain) {
+        leaf = true;
+      } else {
+        // Stable partition of rows[f.begin, f.end) by the condition,
+        // preserving relative order so the distributed engine (which
+        // splits I_x the same way at the delegate worker) produces an
+        // identical tree.
+        const SplitCondition& cond = best.condition;
+        const ColumnPtr& col = table.column(cond.column);
+        scratch.clear();
+        scratch.reserve(n);
+        size_t write = f.begin;
+        if (cond.type == DataType::kNumeric) {
+          for (size_t i = f.begin; i < f.end; ++i) {
+            if (cond.TrainRoutesLeftNumeric(col->numeric_at(rows[i]))) {
+              rows[write++] = rows[i];
+            } else {
+              scratch.push_back(rows[i]);
+            }
+          }
+        } else {
+          for (size_t i = f.begin; i < f.end; ++i) {
+            if (cond.TrainRoutesLeftCategory(col->category_at(rows[i]))) {
+              rows[write++] = rows[i];
+            } else {
+              scratch.push_back(rows[i]);
+            }
+          }
+        }
+        const size_t mid = write;
+        std::copy(scratch.begin(), scratch.end(), rows.begin() + mid);
+        TS_DCHECK(mid > f.begin && mid < f.end)
+            << "split produced an empty child";
+
+        TreeModel::Node left_child;
+        TreeModel::Node right_child;
+        int32_t left_id = model.AddNode(std::move(left_child));
+        int32_t right_id = model.AddNode(std::move(right_child));
+        TreeModel::Node& parent = model.mutable_node(f.node_id);
+        parent.condition = best.condition;
+        parent.split_gain = best.gain;
+        parent.left = left_id;
+        parent.right = right_id;
+        // Right pushed first so the left child is processed next
+        // (depth-first, left-to-right), matching B_plan's head-insert
+        // order in the engine.
+        stack.push_back(Frame{right_id, mid, f.end, f.depth + 1});
+        stack.push_back(Frame{left_id, f.begin, mid, f.depth + 1});
+      }
+    }
+  }
+  return model;
+}
+
+TreeModel TrainTreeOnTable(const DataTable& table,
+                           const std::vector<int>& candidate_columns,
+                           const TreeConfig& config, Rng* rng) {
+  std::vector<uint32_t> rows(table.num_rows());
+  for (size_t i = 0; i < rows.size(); ++i) rows[i] = static_cast<uint32_t>(i);
+  return TrainTree(table, std::move(rows), candidate_columns, config, rng);
+}
+
+}  // namespace treeserver

@@ -1,0 +1,59 @@
+#ifndef TREESERVER_TREE_TRAINER_H_
+#define TREESERVER_TREE_TRAINER_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "table/data_table.h"
+#include "tree/model.h"
+
+namespace treeserver {
+
+/// Hyperparameters of a single decision tree.
+struct TreeConfig {
+  /// d_max: maximum node depth measured from the (global) root.
+  int max_depth = 10;
+  /// τ_leaf: a node with |D_x| <= min_leaf stops splitting.
+  uint32_t min_leaf = 1;
+  Impurity impurity = Impurity::kGini;
+  /// Completely-random tree mode (Appendix F): one column resampled
+  /// per node and a random split point.
+  bool extra_trees = false;
+  /// Depth of the subtree root inside the enclosing tree; subtree-tasks
+  /// pass the node depth here so d_max keeps its global meaning.
+  int base_depth = 0;
+};
+
+/// Exact, single-threaded decision tree training over the rows `rows`
+/// of `table`, considering only `candidate_columns` (the sampled set C;
+/// extra-trees resample from it per node).
+///
+/// This is both the reference implementation that the distributed
+/// engine is validated against, and the code a subtree-task runs on
+/// its gathered D_x. Deterministic: identical inputs (and rng state,
+/// for extra-trees) give an identical tree.
+TreeModel TrainTree(const DataTable& table, std::vector<uint32_t> rows,
+                    const std::vector<int>& candidate_columns,
+                    const TreeConfig& config, Rng* rng = nullptr);
+
+/// Trains over every row of the table.
+TreeModel TrainTreeOnTable(const DataTable& table,
+                           const std::vector<int>& candidate_columns,
+                           const TreeConfig& config, Rng* rng = nullptr);
+
+/// Builds the node prediction fields (PMF/label or mean) from target
+/// statistics. Shared by the serial trainer and the engine's master.
+void FillNodePrediction(const TargetStats& stats, TreeModel::Node* node);
+
+/// Picks the better of two split outcomes under the deterministic
+/// tie-break rule (higher gain wins; equal gain -> lower column index).
+/// Returns true if `candidate` beats `incumbent`.
+bool SplitBeats(const SplitOutcome& candidate, const SplitOutcome& incumbent);
+
+/// Minimum gain for a split to be accepted (guards against splits that
+/// only shuffle rounding error).
+inline constexpr double kMinSplitGain = 1e-12;
+
+}  // namespace treeserver
+
+#endif  // TREESERVER_TREE_TRAINER_H_

@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include "baselines/gbdt.h"
+
+#include "common/timer.h"
+#include "baselines/planet.h"
+#include "forest/forest.h"
+#include "table/datasets.h"
+
+namespace treeserver {
+namespace {
+
+DataTable MakeData(int classes, size_t rows, uint64_t seed,
+                   int concept_depth = 5) {
+  DatasetProfile p;
+  p.rows = rows;
+  p.num_numeric = 6;
+  p.num_categorical = 2;
+  p.num_classes = classes;
+  p.noise = 0.05;
+  p.concept_depth = concept_depth;
+  return GenerateTable(p, seed);
+}
+
+PlanetConfig FastPlanet() {
+  PlanetConfig cfg;
+  cfg.job_overhead_ms = 0.0;  // keep unit tests fast
+  cfg.shuffle_bandwidth_mbps = 0.0;
+  cfg.num_partitions = 4;
+  return cfg;
+}
+
+TEST(PlanetTest, LearnsClassification) {
+  DataTable all = MakeData(3, 4000, 7);
+  Rng rng(1);
+  auto [train, test] = all.TrainTestSplit(0.25, &rng);
+  PlanetConfig cfg = FastPlanet();
+  cfg.max_depth = 8;
+  ForestModel model = TrainPlanet(train, cfg);
+  ASSERT_EQ(model.num_trees(), 1u);
+  double acc = EvaluateAccuracy(model, test);
+  EXPECT_GT(acc, 0.6);
+}
+
+TEST(PlanetTest, LearnsRegression) {
+  DatasetProfile p;
+  p.rows = 4000;
+  p.num_numeric = 5;
+  p.num_categorical = 2;
+  p.num_classes = 0;
+  p.concept_depth = 4;
+  p.noise = 0.02;
+  DataTable all = GenerateTable(p, 13);
+  Rng rng(2);
+  auto [train, test] = all.TrainTestSplit(0.25, &rng);
+  PlanetConfig cfg = FastPlanet();
+  cfg.impurity = Impurity::kVariance;
+  ForestModel model = TrainPlanet(train, cfg);
+  double rmse = EvaluateRmse(model, test);
+
+  RegStats stats;
+  for (size_t i = 0; i < train.num_rows(); ++i) {
+    stats.Add(train.target_value_at(i));
+  }
+  double baseline = 0.0;
+  for (size_t i = 0; i < test.num_rows(); ++i) {
+    double d = stats.Mean() - test.target_value_at(i);
+    baseline += d * d;
+  }
+  baseline = std::sqrt(baseline / test.num_rows());
+  EXPECT_LT(rmse, baseline);
+}
+
+TEST(PlanetTest, ExactBeatsApproxOnFineStructure) {
+  // A deep concept with many distinct split points: binning to 8
+  // buckets must lose accuracy relative to exact split finding.
+  DataTable all = MakeData(2, 6000, 23, /*concept_depth=*/8);
+  Rng rng(3);
+  auto [train, test] = all.TrainTestSplit(0.25, &rng);
+
+  TreeConfig exact_cfg;
+  exact_cfg.max_depth = 10;
+  TreeModel exact =
+      TrainTreeOnTable(train, train.schema().FeatureIndices(), exact_cfg);
+  ForestModel exact_forest(TaskKind::kClassification, 2);
+  exact_forest.AddTree(exact);
+
+  PlanetConfig approx_cfg = FastPlanet();
+  approx_cfg.max_bins = 8;
+  approx_cfg.max_depth = 10;
+  ForestModel approx = TrainPlanet(train, approx_cfg);
+
+  double exact_acc = EvaluateAccuracy(exact_forest, test);
+  double approx_acc = EvaluateAccuracy(approx, test);
+  EXPECT_GE(exact_acc, approx_acc - 0.01);
+}
+
+TEST(PlanetTest, RespectsMaxDepth) {
+  DataTable t = MakeData(2, 2000, 31);
+  PlanetConfig cfg = FastPlanet();
+  cfg.max_depth = 3;
+  ForestModel model = TrainPlanet(t, cfg);
+  EXPECT_LE(model.tree(0).MaxDepth(), 3);
+}
+
+TEST(PlanetTest, ForestWithColumnSampling) {
+  DataTable t = MakeData(3, 2500, 37);
+  PlanetConfig cfg = FastPlanet();
+  cfg.num_trees = 5;
+  cfg.sqrt_columns = true;
+  cfg.max_depth = 6;
+  ForestModel model = TrainPlanet(t, cfg);
+  EXPECT_EQ(model.num_trees(), 5u);
+  EXPECT_GT(EvaluateAccuracy(model, t), 0.4);
+}
+
+TEST(PlanetTest, StatsAccounting) {
+  DataTable t = MakeData(2, 1500, 41);
+  PlanetConfig cfg = FastPlanet();
+  cfg.max_depth = 4;
+  PlanetStats stats;
+  TrainPlanet(t, cfg, &stats);
+  EXPECT_GT(stats.levels, 0);
+  EXPECT_GT(stats.bytes_shuffled, 0u);
+  // With overheads disabled, no simulated seconds accrue.
+  EXPECT_EQ(stats.simulated_overhead_seconds, 0.0);
+}
+
+TEST(PlanetTest, SimulatedOverheadsSlowItDown) {
+  DataTable t = MakeData(2, 800, 43);
+  PlanetConfig cfg = FastPlanet();
+  cfg.max_depth = 4;
+  cfg.job_overhead_ms = 5.0;
+  PlanetStats stats;
+  WallTimer timer;
+  TrainPlanet(t, cfg, &stats);
+  EXPECT_GT(stats.simulated_overhead_seconds, 0.0);
+  EXPECT_GE(timer.Seconds(), stats.simulated_overhead_seconds * 0.9);
+}
+
+TEST(PlanetTest, HandlesMissingViaImputation) {
+  DatasetProfile p;
+  p.rows = 1500;
+  p.num_numeric = 5;
+  p.num_categorical = 2;
+  p.num_classes = 2;
+  p.missing_fraction = 0.1;
+  DataTable t = GenerateTable(p, 47);
+  PlanetConfig cfg = FastPlanet();
+  ForestModel model = TrainPlanet(t, cfg);
+  EXPECT_GT(model.tree(0).num_nodes(), 1u);
+}
+
+TEST(PlanetTest, SingleVsMultiThreadSameModel) {
+  DataTable t = MakeData(3, 2000, 53);
+  PlanetConfig cfg1 = FastPlanet();
+  cfg1.num_threads = 1;
+  PlanetConfig cfg4 = cfg1;
+  cfg4.num_threads = 4;
+  ForestModel a = TrainPlanet(t, cfg1);
+  ForestModel b = TrainPlanet(t, cfg4);
+  EXPECT_TRUE(a.tree(0).StructurallyEqual(b.tree(0)));
+}
+
+TEST(GbdtTest, BinaryClassification) {
+  DataTable all = MakeData(2, 4000, 61);
+  Rng rng(4);
+  auto [train, test] = all.TrainTestSplit(0.25, &rng);
+  GbdtConfig cfg;
+  cfg.num_rounds = 20;
+  cfg.max_depth = 5;
+  GbdtModel model = TrainGbdt(train, cfg);
+  EXPECT_EQ(model.num_trees(), 20u);
+  EXPECT_GT(model.Evaluate(test), 0.7);
+}
+
+TEST(GbdtTest, MulticlassSoftmax) {
+  DataTable all = MakeData(4, 4000, 67);
+  Rng rng(5);
+  auto [train, test] = all.TrainTestSplit(0.25, &rng);
+  GbdtConfig cfg;
+  cfg.num_rounds = 15;
+  cfg.max_depth = 5;
+  GbdtModel model = TrainGbdt(train, cfg);
+  EXPECT_EQ(model.num_trees(), 15u * 4u);  // K trees per round
+  EXPECT_GT(model.Evaluate(test), 0.55);
+}
+
+TEST(GbdtTest, Regression) {
+  DatasetProfile p;
+  p.rows = 4000;
+  p.num_numeric = 5;
+  p.num_categorical = 2;
+  p.num_classes = 0;
+  p.concept_depth = 4;
+  p.noise = 0.02;
+  DataTable all = GenerateTable(p, 71);
+  Rng rng(6);
+  auto [train, test] = all.TrainTestSplit(0.25, &rng);
+  GbdtConfig cfg;
+  cfg.num_rounds = 30;
+  cfg.max_depth = 4;
+  GbdtModel model = TrainGbdt(train, cfg);
+  double rmse = model.Evaluate(test);
+
+  RegStats stats;
+  for (size_t i = 0; i < train.num_rows(); ++i) {
+    stats.Add(train.target_value_at(i));
+  }
+  double baseline = 0.0;
+  for (size_t i = 0; i < test.num_rows(); ++i) {
+    double d = stats.Mean() - test.target_value_at(i);
+    baseline += d * d;
+  }
+  baseline = std::sqrt(baseline / test.num_rows());
+  EXPECT_LT(rmse, baseline * 0.7);
+}
+
+TEST(GbdtTest, MoreRoundsImproveTrainFit) {
+  DataTable t = MakeData(2, 2500, 79, /*concept_depth=*/7);
+  GbdtConfig small;
+  small.num_rounds = 3;
+  small.max_depth = 4;
+  GbdtConfig big = small;
+  big.num_rounds = 30;
+  double acc_small = TrainGbdt(t, small).Evaluate(t);
+  double acc_big = TrainGbdt(t, big).Evaluate(t);
+  EXPECT_GE(acc_big, acc_small);
+}
+
+TEST(GbdtTest, HandlesMissingValues) {
+  DatasetProfile p;
+  p.rows = 1500;
+  p.num_numeric = 5;
+  p.num_categorical = 2;
+  p.num_classes = 2;
+  p.missing_fraction = 0.1;
+  DataTable t = GenerateTable(p, 83);
+  GbdtConfig cfg;
+  cfg.num_rounds = 10;
+  cfg.max_depth = 4;
+  GbdtModel model = TrainGbdt(t, cfg);
+  EXPECT_GT(model.Evaluate(t), 0.6);
+}
+
+TEST(GbdtTest, ThreadedSplitSearchSameResult) {
+  DataTable t = MakeData(2, 1500, 89);
+  GbdtConfig cfg1;
+  cfg1.num_rounds = 5;
+  cfg1.max_depth = 4;
+  GbdtConfig cfg4 = cfg1;
+  cfg4.num_threads = 4;
+  GbdtModel a = TrainGbdt(t, cfg1);
+  GbdtModel b = TrainGbdt(t, cfg4);
+  for (size_t i = 0; i < t.num_rows(); i += 41) {
+    EXPECT_EQ(a.PredictLabel(t, i), b.PredictLabel(t, i));
+  }
+}
+
+}  // namespace
+}  // namespace treeserver

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "common/serial.h"
+#include "common/status.h"
+
+namespace treeserver {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::IOError("disk gone");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  EXPECT_EQ(s.message(), "disk gone");
+  EXPECT_EQ(s.ToString(), "IOError: disk gone");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument),
+               "InvalidArgument");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCorruption), "Corruption");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "Unavailable");
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v;
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = ParsePositive(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = ParsePositive(-1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+Status UseAssignOrReturn(int in, int* out) {
+  TS_ASSIGN_OR_RETURN(int v, ParsePositive(in));
+  *out = v * 2;
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturn(21, &out).ok());
+  EXPECT_EQ(out, 42);
+  EXPECT_FALSE(UseAssignOrReturn(-3, &out).ok());
+}
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, UniformDoubleInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(11);
+  std::vector<int> hits(5, 0);
+  for (int i = 0; i < 5000; ++i) {
+    int64_t v = rng.UniformInt(0, 4);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 4);
+    ++hits[v];
+  }
+  for (int h : hits) EXPECT_GT(h, 500);  // roughly uniform
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinct) {
+  Rng rng(3);
+  std::vector<int> s = rng.SampleWithoutReplacement(100, 20);
+  EXPECT_EQ(s.size(), 20u);
+  std::sort(s.begin(), s.end());
+  EXPECT_TRUE(std::adjacent_find(s.begin(), s.end()) == s.end());
+  for (int v : s) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 100);
+  }
+}
+
+TEST(RngTest, SampleMoreThanAvailableClamps) {
+  Rng rng(5);
+  std::vector<int> s = rng.SampleWithoutReplacement(5, 50);
+  EXPECT_EQ(s.size(), 5u);
+}
+
+TEST(RngTest, NormalHasRoughlyZeroMean) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Normal();
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+}
+
+TEST(SerialTest, RoundTripsScalarsAndVectors) {
+  BinaryWriter w;
+  w.Write<int32_t>(-42);
+  w.Write<double>(3.25);
+  w.WriteString("hello");
+  w.WriteVector<uint32_t>({1, 2, 3});
+  w.WriteVector<double>({});
+
+  BinaryReader r(w.buffer());
+  int32_t i;
+  ASSERT_TRUE(r.Read(&i).ok());
+  EXPECT_EQ(i, -42);
+  double d;
+  ASSERT_TRUE(r.Read(&d).ok());
+  EXPECT_EQ(d, 3.25);
+  std::string s;
+  ASSERT_TRUE(r.ReadString(&s).ok());
+  EXPECT_EQ(s, "hello");
+  std::vector<uint32_t> v;
+  ASSERT_TRUE(r.ReadVector(&v).ok());
+  EXPECT_EQ(v, (std::vector<uint32_t>{1, 2, 3}));
+  std::vector<double> e;
+  ASSERT_TRUE(r.ReadVector(&e).ok());
+  EXPECT_TRUE(e.empty());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerialTest, ReadPastEndIsCorruption) {
+  BinaryWriter w;
+  w.Write<int32_t>(1);
+  BinaryReader r(w.buffer());
+  int64_t big;
+  EXPECT_EQ(r.Read(&big).code(), StatusCode::kCorruption);
+}
+
+TEST(SerialTest, TruncatedVectorIsCorruption) {
+  BinaryWriter w;
+  w.Write<uint64_t>(1000);  // claims 1000 elements, provides none
+  BinaryReader r(w.buffer());
+  std::vector<double> v;
+  EXPECT_EQ(r.ReadVector(&v).code(), StatusCode::kCorruption);
+}
+
+TEST(MetricsTest, CounterAccumulates) {
+  Counter c;
+  c.Add(5);
+  c.Inc();
+  EXPECT_EQ(c.value(), 6u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(MetricsTest, PeakGaugeTracksHighWater) {
+  PeakGauge g;
+  g.Add(10);
+  g.Add(20);
+  g.Sub(25);
+  EXPECT_EQ(g.value(), 5);
+  EXPECT_EQ(g.peak(), 30);
+}
+
+}  // namespace
+}  // namespace treeserver

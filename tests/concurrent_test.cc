@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "concurrent/blocking_queue.h"
+#include "concurrent/concurrent_hash_map.h"
+#include "concurrent/plan_deque.h"
+
+namespace treeserver {
+namespace {
+
+TEST(BlockingQueueTest, FifoOrder) {
+  BlockingQueue<int> q;
+  q.Push(1);
+  q.Push(2);
+  q.Push(3);
+  EXPECT_EQ(q.Pop().value(), 1);
+  EXPECT_EQ(q.Pop().value(), 2);
+  EXPECT_EQ(q.Pop().value(), 3);
+}
+
+TEST(BlockingQueueTest, TryPopEmptyReturnsNullopt) {
+  BlockingQueue<int> q;
+  EXPECT_FALSE(q.TryPop().has_value());
+}
+
+TEST(BlockingQueueTest, CloseWakesBlockedConsumer) {
+  BlockingQueue<int> q;
+  std::thread consumer([&] { EXPECT_FALSE(q.Pop().has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.Close();
+  consumer.join();
+}
+
+TEST(BlockingQueueTest, CloseDeliversPendingItems) {
+  BlockingQueue<int> q;
+  q.Push(42);
+  q.Close();
+  EXPECT_EQ(q.Pop().value(), 42);
+  EXPECT_FALSE(q.Pop().has_value());
+  EXPECT_FALSE(q.Push(1));  // rejected after close
+}
+
+TEST(BlockingQueueTest, ManyProducersManyConsumers) {
+  BlockingQueue<int> q;
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 2500;
+  std::atomic<long> sum{0};
+  std::atomic<int> popped{0};
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 4; ++c) {
+    consumers.emplace_back([&] {
+      while (auto v = q.Pop()) {
+        sum.fetch_add(*v);
+        popped.fetch_add(1);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) q.Push(p * kPerProducer + i);
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.Close();
+  for (auto& t : consumers) t.join();
+
+  const long n = kProducers * kPerProducer;
+  EXPECT_EQ(popped.load(), n);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+TEST(ConcurrentHashMapTest, InsertFindErase) {
+  ConcurrentHashMap<int, std::string> map;
+  EXPECT_TRUE(map.Insert(1, "one"));
+  EXPECT_FALSE(map.Insert(1, "uno"));  // duplicate rejected
+  EXPECT_TRUE(map.Contains(1));
+
+  std::string seen;
+  EXPECT_TRUE(map.Visit(1, [&](std::string& v) { seen = v; }));
+  EXPECT_EQ(seen, "one");
+  EXPECT_FALSE(map.Visit(2, [](std::string&) {}));
+
+  EXPECT_TRUE(map.Erase(1));
+  EXPECT_FALSE(map.Contains(1));
+  EXPECT_FALSE(map.Erase(1));
+}
+
+TEST(ConcurrentHashMapTest, VisitMutatesInPlace) {
+  ConcurrentHashMap<int, int> map;
+  map.Insert(5, 10);
+  map.Visit(5, [](int& v) { v += 1; });
+  int out = 0;
+  map.Visit(5, [&](int& v) { out = v; });
+  EXPECT_EQ(out, 11);
+}
+
+TEST(ConcurrentHashMapTest, VisitAndMaybeErase) {
+  ConcurrentHashMap<int, int> map;
+  map.Insert(1, 100);
+  // fn returns false: keep
+  EXPECT_TRUE(map.VisitAndMaybeErase(1, [](int&) { return false; }));
+  EXPECT_TRUE(map.Contains(1));
+  // fn returns true: erase
+  EXPECT_TRUE(map.VisitAndMaybeErase(1, [](int&) { return true; }));
+  EXPECT_FALSE(map.Contains(1));
+}
+
+TEST(ConcurrentHashMapTest, ExtractMovesValueOut) {
+  ConcurrentHashMap<int, std::string> map;
+  map.Insert(3, "x");
+  auto v = map.Extract(3);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, "x");
+  EXPECT_FALSE(map.Extract(3).has_value());
+}
+
+TEST(ConcurrentHashMapTest, ConcurrentInsertsAllLand) {
+  ConcurrentHashMap<int, int> map(32);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        map.Insert(t * kPerThread + i, i);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(map.size(), static_cast<size_t>(kThreads * kPerThread));
+}
+
+TEST(ConcurrentHashMapTest, KeysWhereFilters) {
+  ConcurrentHashMap<int, int> map;
+  for (int i = 0; i < 10; ++i) map.Insert(i, i * i);
+  auto keys = map.KeysWhere([](const int& k, const int&) { return k % 2 == 0; });
+  EXPECT_EQ(keys.size(), 5u);
+}
+
+TEST(PlanDequeTest, HybridBfsDfsOrdering) {
+  // Simulates B_plan: "big" nodes appended (BFS), "small" pushed at the
+  // head (DFS). The head must always yield the most recently pushed
+  // small node before any queued big node.
+  PlanDeque<int> dq;
+  dq.PushBack(100);   // big node A
+  dq.PushBack(200);   // big node B
+  dq.PushFront(-1);   // small node, must come out first
+  dq.PushFront(-2);   // smaller still, LIFO among smalls
+
+  EXPECT_EQ(dq.TryPopFront().value(), -2);
+  EXPECT_EQ(dq.TryPopFront().value(), -1);
+  EXPECT_EQ(dq.TryPopFront().value(), 100);
+  EXPECT_EQ(dq.TryPopFront().value(), 200);
+  EXPECT_FALSE(dq.TryPopFront().has_value());
+}
+
+TEST(PlanDequeTest, SizeTracksContents) {
+  PlanDeque<int> dq;
+  EXPECT_TRUE(dq.empty());
+  dq.PushBack(1);
+  dq.PushFront(2);
+  EXPECT_EQ(dq.size(), 2u);
+  dq.TryPopFront();
+  EXPECT_EQ(dq.size(), 1u);
+}
+
+}  // namespace
+}  // namespace treeserver

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "deepforest/deep_forest.h"
+
+namespace treeserver {
+namespace {
+
+EngineConfig SmallEngine() {
+  EngineConfig cfg;
+  cfg.num_workers = 2;
+  cfg.compers_per_worker = 2;
+  cfg.tau_d = 100000;  // tiny tables: everything is a subtree task
+  cfg.tau_dfs = 200000;
+  return cfg;
+}
+
+DeepForestConfig TinyConfig() {
+  DeepForestConfig cfg;
+  cfg.mgs.window_sizes = {5};
+  cfg.mgs.stride = 4;
+  cfg.mgs.trees_per_forest = 4;
+  cfg.mgs.forests_per_window = 2;
+  cfg.mgs.max_depth = 6;
+  cfg.cascade.num_layers = 2;
+  cfg.cascade.trees_per_forest = 4;
+  cfg.cascade.max_depth = 10;
+  cfg.extract_threads = 2;
+  return cfg;
+}
+
+TEST(DeepForestTest, WindowTableShape) {
+  ImageDataset images = GenerateImages(10, 3, 16, 16, 4);
+  DataTable t = BuildWindowTable(images, /*window=*/4, /*stride=*/4, 2);
+  // 16x16 with window 4, stride 4: 4x4 = 16 positions per image.
+  EXPECT_EQ(t.num_rows(), 10u * 16u);
+  EXPECT_EQ(t.schema().num_features(), 16);  // 4*4 pixels
+  EXPECT_EQ(t.schema().num_classes(), 4);
+  // Labels repeat per position.
+  for (size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(t.label_at(i), images.labels[0]);
+  }
+}
+
+TEST(DeepForestTest, WindowTablePixelValues) {
+  // A deterministic 4x4 "image" whose pixels equal their index.
+  ImageDataset images;
+  images.width = 4;
+  images.height = 4;
+  images.num_classes = 2;
+  std::vector<float> img(16);
+  for (int i = 0; i < 16; ++i) img[i] = static_cast<float>(i) / 16.0f;
+  images.images.push_back(img);
+  images.labels.push_back(1);
+
+  DataTable t = BuildWindowTable(images, /*window=*/2, /*stride=*/2, 1);
+  EXPECT_EQ(t.num_rows(), 4u);  // 2x2 positions
+  // First window (top-left): pixels 0,1,4,5.
+  EXPECT_FLOAT_EQ(t.column(0)->numeric_at(0), 0.0f / 16);
+  EXPECT_FLOAT_EQ(t.column(1)->numeric_at(0), 1.0f / 16);
+  EXPECT_FLOAT_EQ(t.column(2)->numeric_at(0), 4.0f / 16);
+  EXPECT_FLOAT_EQ(t.column(3)->numeric_at(0), 5.0f / 16);
+  // Second window (top-right): pixels 2,3,6,7.
+  EXPECT_FLOAT_EQ(t.column(0)->numeric_at(1), 2.0f / 16);
+}
+
+TEST(DeepForestTest, ExtractFeatureDimensions) {
+  ImageDataset images = GenerateImages(8, 5, 16, 16, 3);
+  DataTable t = BuildWindowTable(images, 4, 4, 2);  // 16 positions
+
+  ForestJobSpec spec;
+  spec.num_trees = 3;
+  spec.tree.max_depth = 4;
+  ForestModel forest = TrainForestSerial(t, spec);
+  auto features = ExtractWindowFeatures({forest, forest}, t, 8, 2);
+  ASSERT_EQ(features.size(), 8u);
+  // positions(16) * forests(2) * classes(3) = 96 dims.
+  EXPECT_EQ(features[0].size(), 96u);
+  // PMF blocks sum to ~1.
+  float sum = features[0][0] + features[0][1] + features[0][2];
+  EXPECT_NEAR(sum, 1.0f, 1e-4f);
+}
+
+TEST(DeepForestTest, EndToEndTrainsAndBeatsChance) {
+  ImageDataset train = GenerateImages(160, 11);
+  ImageDataset test = GenerateImages(60, 12);  // same class patterns
+
+  DeepForestTrainer trainer(TinyConfig(), SmallEngine());
+  std::vector<DeepForestStep> steps;
+  DeepForestModel model = trainer.Train(train, test, &steps);
+
+  // Step log covers slide + per-window train/extract + per-layer
+  // train/extract.
+  ASSERT_FALSE(steps.empty());
+  EXPECT_EQ(steps.front().name, "slide");
+  int accuracy_steps = 0;
+  double last_acc = 0.0;
+  for (const DeepForestStep& s : steps) {
+    if (s.test_accuracy >= 0.0) {
+      ++accuracy_steps;
+      last_acc = s.test_accuracy;
+    }
+  }
+  EXPECT_EQ(accuracy_steps, 2);  // one per cascade layer
+  EXPECT_GT(last_acc, 0.3);      // 10 classes; chance is 0.1
+
+  // Batch prediction path agrees with the final-layer accuracy.
+  double acc = model.EvaluateAccuracy(test, 2);
+  EXPECT_NEAR(acc, last_acc, 1e-9);
+  EXPECT_EQ(model.num_layers(), 2);
+}
+
+TEST(DeepForestTest, SerializationRoundTripPredictsIdentically) {
+  ImageDataset train = GenerateImages(120, 31);
+  ImageDataset test = GenerateImages(40, 32);
+  DeepForestTrainer trainer(TinyConfig(), SmallEngine());
+  DeepForestModel model = trainer.Train(train, test);
+
+  BinaryWriter w;
+  model.Serialize(&w);
+  BinaryReader r(w.buffer());
+  DeepForestModel restored;
+  ASSERT_TRUE(DeepForestModel::Deserialize(&r, &restored).ok());
+  EXPECT_EQ(restored.num_layers(), model.num_layers());
+  std::vector<int32_t> a = model.Predict(test, 2);
+  std::vector<int32_t> b = restored.Predict(test, 2);
+  EXPECT_EQ(a, b);
+}
+
+TEST(DeepForestTest, CorruptDeserializeFails) {
+  std::string junk = "definitely not a deep forest";
+  BinaryReader r(junk);
+  DeepForestModel m;
+  EXPECT_FALSE(DeepForestModel::Deserialize(&r, &m).ok());
+}
+
+TEST(DeepForestTest, GeneratedImagesAreLearnable) {
+  // Sanity check on the MNIST stand-in: a plain forest on raw pixels
+  // must classify far above chance.
+  ImageDataset train = GenerateImages(300, 21);
+  ImageDataset test = GenerateImages(100, 22);
+  DataTable train_table = BuildWindowTable(train, 28, 28, 2);  // full image
+  DataTable test_table = BuildWindowTable(test, 28, 28, 2);
+  ForestJobSpec spec;
+  spec.num_trees = 10;
+  spec.tree.max_depth = 10;
+  spec.sqrt_columns = true;
+  ForestModel forest = TrainForestSerial(train_table, spec, 2);
+  EXPECT_GT(EvaluateAccuracy(forest, test_table), 0.5);
+}
+
+}  // namespace
+}  // namespace treeserver

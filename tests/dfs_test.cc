@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "dfs/dfs.h"
+#include "table/datasets.h"
+
+namespace treeserver {
+namespace {
+
+class DfsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = std::filesystem::temp_directory_path() /
+            ("treeserver_dfs_test_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(root_);
+  }
+  void TearDown() override { std::filesystem::remove_all(root_); }
+
+  DataTable MakeTable(size_t rows = 1000, int numeric = 6, int cat = 3) {
+    DatasetProfile p;
+    p.rows = rows;
+    p.num_numeric = numeric;
+    p.num_categorical = cat;
+    p.num_classes = 4;
+    return GenerateTable(p, 99);
+  }
+
+  std::filesystem::path root_;
+};
+
+TEST_F(DfsTest, PutAndReadBackFullTable) {
+  LocalDfs dfs(root_.string());
+  DataTable t = MakeTable();
+  DfsLayout layout;
+  layout.columns_per_group = 4;
+  layout.rows_per_group = 300;
+  ASSERT_TRUE(dfs.Put(t, "ds", layout).ok());
+
+  auto back = dfs.ReadTable("ds");
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->num_rows(), t.num_rows());
+  ASSERT_EQ(back->num_columns(), t.num_columns());
+  for (size_t i = 0; i < t.num_rows(); i += 97) {
+    EXPECT_EQ(back->column(0)->numeric_at(i), t.column(0)->numeric_at(i));
+    EXPECT_EQ(back->label_at(i), t.label_at(i));
+  }
+}
+
+TEST_F(DfsTest, SchemaRoundTrip) {
+  LocalDfs dfs(root_.string());
+  DataTable t = MakeTable(200);
+  ASSERT_TRUE(dfs.Put(t, "ds", DfsLayout{3, 64}).ok());
+  auto schema = dfs.ReadSchema("ds");
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->num_columns(), t.num_columns());
+  EXPECT_EQ(schema->target_index(), t.schema().target_index());
+  EXPECT_EQ(schema->task_kind(), TaskKind::kClassification);
+  EXPECT_EQ(schema->column(0).name, t.schema().column(0).name);
+}
+
+TEST_F(DfsTest, ReadColumnsExactValues) {
+  LocalDfs dfs(root_.string());
+  DataTable t = MakeTable(500);
+  ASSERT_TRUE(dfs.Put(t, "ds", DfsLayout{2, 128}).ok());
+
+  auto cols = dfs.ReadColumns("ds", {1, 7, 0});
+  ASSERT_TRUE(cols.ok()) << cols.status().ToString();
+  ASSERT_EQ(cols->size(), 3u);
+  for (size_t i = 0; i < t.num_rows(); i += 31) {
+    EXPECT_EQ((*cols)[0]->numeric_at(i), t.column(1)->numeric_at(i));
+    EXPECT_EQ((*cols)[2]->numeric_at(i), t.column(0)->numeric_at(i));
+    // Column 7 is categorical (6 numeric + 3 cat + target).
+    EXPECT_EQ((*cols)[1]->category_at(i), t.column(7)->category_at(i));
+  }
+}
+
+TEST_F(DfsTest, ReadRowStripe) {
+  LocalDfs dfs(root_.string());
+  DataTable t = MakeTable(1000);
+  ASSERT_TRUE(dfs.Put(t, "ds", DfsLayout{5, 128}).ok());
+
+  auto part = dfs.ReadRows("ds", 100, 400);
+  ASSERT_TRUE(part.ok()) << part.status().ToString();
+  ASSERT_EQ(part->num_rows(), 300u);
+  for (size_t i = 0; i < 300; i += 17) {
+    EXPECT_EQ(part->column(0)->numeric_at(i),
+              t.column(0)->numeric_at(100 + i));
+    EXPECT_EQ(part->label_at(i), t.label_at(100 + i));
+  }
+  EXPECT_FALSE(dfs.ReadRows("ds", 500, 2000).ok());  // out of bounds
+}
+
+TEST_F(DfsTest, GroupingReducesFileOpens) {
+  DataTable t = MakeTable(800, 20, 0);
+  // Fine-grained layout: one column per file.
+  LocalDfs fine(root_.string() + "_fine");
+  ASSERT_TRUE(fine.Put(t, "ds", DfsLayout{1, 100000}).ok());
+  fine.ResetCounters();
+  ASSERT_TRUE(fine.ReadColumns("ds", {0, 1, 2, 3, 4, 5, 6, 7}).ok());
+  uint64_t fine_opens = fine.file_opens();
+
+  // Grouped layout (Fig. 13): 10 columns per file.
+  LocalDfs grouped(root_.string() + "_grouped");
+  ASSERT_TRUE(grouped.Put(t, "ds", DfsLayout{10, 100000}).ok());
+  grouped.ResetCounters();
+  ASSERT_TRUE(grouped.ReadColumns("ds", {0, 1, 2, 3, 4, 5, 6, 7}).ok());
+  uint64_t grouped_opens = grouped.file_opens();
+
+  EXPECT_LT(grouped_opens, fine_opens);
+  std::filesystem::remove_all(root_.string() + "_fine");
+  std::filesystem::remove_all(root_.string() + "_grouped");
+}
+
+TEST_F(DfsTest, MissingDatasetIsIOError) {
+  LocalDfs dfs(root_.string());
+  EXPECT_EQ(dfs.ReadSchema("nope").status().code(), StatusCode::kIOError);
+  EXPECT_FALSE(dfs.ReadTable("nope").ok());
+}
+
+TEST_F(DfsTest, InvalidLayoutRejected) {
+  LocalDfs dfs(root_.string());
+  DataTable t = MakeTable(50);
+  EXPECT_EQ(dfs.Put(t, "ds", DfsLayout{0, 100}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(dfs.Put(t, "ds", DfsLayout{5, 0}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(DfsTest, OverwriteReplacesDataset) {
+  LocalDfs dfs(root_.string());
+  DataTable t1 = MakeTable(100);
+  DataTable t2 = MakeTable(200);
+  ASSERT_TRUE(dfs.Put(t1, "ds", DfsLayout{4, 64}).ok());
+  ASSERT_TRUE(dfs.Put(t2, "ds", DfsLayout{4, 64}).ok());
+  auto back = dfs.ReadTable("ds");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_rows(), 200u);
+}
+
+TEST_F(DfsTest, PreservesMissingValues) {
+  LocalDfs dfs(root_.string());
+  DatasetProfile p;
+  p.rows = 300;
+  p.num_numeric = 4;
+  p.num_categorical = 2;
+  p.num_classes = 2;
+  p.missing_fraction = 0.2;
+  DataTable t = GenerateTable(p, 5);
+  ASSERT_TRUE(dfs.Put(t, "ds", DfsLayout{3, 100}).ok());
+  auto back = dfs.ReadTable("ds");
+  ASSERT_TRUE(back.ok());
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    EXPECT_EQ(back->column(0)->IsMissing(i), t.column(0)->IsMissing(i));
+    EXPECT_EQ(back->column(4)->IsMissing(i), t.column(4)->IsMissing(i));
+  }
+}
+
+}  // namespace
+}  // namespace treeserver

@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include "engine/cluster.h"
+#include "engine/messages.h"
+#include "forest/forest.h"
+#include "table/datasets.h"
+#include "tree/trainer.h"
+
+namespace treeserver {
+namespace {
+
+DataTable MakeData(int classes, size_t rows, uint64_t seed) {
+  DatasetProfile p;
+  p.rows = rows;
+  p.num_numeric = 5;
+  p.num_categorical = 3;
+  p.num_classes = classes;
+  p.noise = 0.05;
+  return GenerateTable(p, seed);
+}
+
+TEST(FeatureImportanceTest, SumsToOneAndSkipsTarget) {
+  DataTable t = MakeData(3, 2000, 5);
+  ForestJobSpec spec;
+  spec.num_trees = 5;
+  spec.tree.max_depth = 8;
+  spec.column_ratio = 0.7;
+  ForestModel forest = TrainForestSerial(t, spec);
+  std::vector<double> imp = FeatureImportance(forest, t.schema());
+  ASSERT_EQ(imp.size(), static_cast<size_t>(t.num_columns()));
+  double total = 0.0;
+  for (double v : imp) {
+    EXPECT_GE(v, 0.0);
+    total += v;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_EQ(imp[t.schema().target_index()], 0.0);
+}
+
+TEST(FeatureImportanceTest, InformativeColumnsDominate) {
+  // Build a table where only column 0 carries signal.
+  Rng rng(9);
+  size_t n = 3000;
+  std::vector<double> x0(n), x1(n);
+  std::vector<int32_t> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x0[i] = rng.UniformDouble();
+    x1[i] = rng.UniformDouble();
+    y[i] = x0[i] > 0.5 ? 1 : 0;
+  }
+  std::vector<ColumnMeta> metas = {{"signal", DataType::kNumeric, 0},
+                                   {"noise", DataType::kNumeric, 0},
+                                   {"y", DataType::kCategorical, 2}};
+  auto t = DataTable::Make(Schema(metas, 2, TaskKind::kClassification),
+                           {Column::Numeric("signal", x0),
+                            Column::Numeric("noise", x1),
+                            Column::Categorical("y", y, 2)});
+  ASSERT_TRUE(t.ok());
+  ForestJobSpec spec;
+  spec.num_trees = 3;
+  spec.tree.max_depth = 6;
+  ForestModel forest = TrainForestSerial(*t, spec);
+  std::vector<double> imp = FeatureImportance(forest, t->schema());
+  EXPECT_GT(imp[0], 0.9);
+  EXPECT_LT(imp[1], 0.1);
+}
+
+TEST(FeatureImportanceTest, EmptyForestIsAllZero) {
+  DataTable t = MakeData(2, 100, 7);
+  ForestModel empty(TaskKind::kClassification, 2);
+  std::vector<double> imp = FeatureImportance(empty, t.schema());
+  for (double v : imp) EXPECT_EQ(v, 0.0);
+}
+
+TEST(ModelDumpTest, DebugStringMentionsColumnsAndLeaves) {
+  DataTable t = MakeData(2, 1000, 11);
+  TreeConfig cfg;
+  cfg.max_depth = 4;
+  TreeModel model = TrainTreeOnTable(t, t.schema().FeatureIndices(), cfg);
+  std::string dump = model.DebugString(t.schema());
+  EXPECT_NE(dump.find("leaf: class"), std::string::npos);
+  EXPECT_NE(dump.find("<="), std::string::npos);
+  EXPECT_NE(dump.find("gain="), std::string::npos);
+  // The root split's column name appears.
+  const auto& root = model.node(0);
+  ASSERT_FALSE(root.is_leaf());
+  EXPECT_NE(dump.find(t.schema().column(root.condition.column).name),
+            std::string::npos);
+}
+
+TEST(ModelDumpTest, DotOutputIsWellFormed) {
+  DataTable t = MakeData(3, 800, 13);
+  TreeConfig cfg;
+  cfg.max_depth = 3;
+  TreeModel model = TrainTreeOnTable(t, t.schema().FeatureIndices(), cfg);
+  std::string dot = model.ToDot(t.schema(), "tree0");
+  EXPECT_EQ(dot.find("digraph tree0 {"), 0u);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+  // Balanced braces: exactly one { at start and one } at end.
+  EXPECT_NE(dot.rfind("}\n"), std::string::npos);
+}
+
+TEST(ModelDumpTest, SplitGainRecordedOnInternalNodes) {
+  DataTable t = MakeData(2, 1200, 17);
+  TreeConfig cfg;
+  cfg.max_depth = 5;
+  TreeModel model = TrainTreeOnTable(t, t.schema().FeatureIndices(), cfg);
+  for (size_t i = 0; i < model.num_nodes(); ++i) {
+    const auto& n = model.node(static_cast<int32_t>(i));
+    if (n.is_leaf()) {
+      EXPECT_EQ(n.split_gain, 0.0);
+    } else {
+      EXPECT_GT(n.split_gain, 0.0);
+    }
+  }
+}
+
+TEST(RowIdCodecTest, DeltaVarintRoundTrip) {
+  std::vector<uint32_t> rows = {0, 1, 5, 6, 100, 1000000, 1000001};
+  BinaryWriter w;
+  WriteRowIds(&w, rows, /*compress=*/true);
+  BinaryReader r(w.buffer());
+  std::vector<uint32_t> back;
+  ASSERT_TRUE(ReadRowIds(&r, &back).ok());
+  EXPECT_EQ(back, rows);
+}
+
+TEST(RowIdCodecTest, CompressionShrinksDenseIds) {
+  std::vector<uint32_t> rows(50000);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    rows[i] = static_cast<uint32_t>(2 * i);  // deltas of 2: 1 byte each
+  }
+  BinaryWriter raw, packed;
+  WriteRowIds(&raw, rows, false);
+  WriteRowIds(&packed, rows, true);
+  EXPECT_LT(packed.size() * 3, raw.size());  // >3x smaller
+  BinaryReader r(packed.buffer());
+  std::vector<uint32_t> back;
+  ASSERT_TRUE(ReadRowIds(&r, &back).ok());
+  EXPECT_EQ(back, rows);
+}
+
+TEST(RowIdCodecTest, EmptyRows) {
+  BinaryWriter w;
+  WriteRowIds(&w, {}, true);
+  BinaryReader r(w.buffer());
+  std::vector<uint32_t> back = {1, 2, 3};
+  ASSERT_TRUE(ReadRowIds(&r, &back).ok());
+  EXPECT_TRUE(back.empty());
+}
+
+TEST(ColumnCodecTest, PackedCategoricalRoundTrip) {
+  std::vector<int32_t> codes;
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    codes.push_back(i % 11 == 0 ? kMissingCategory
+                                : static_cast<int32_t>(rng.Uniform(7)));
+  }
+  ColumnPtr col = Column::Categorical("c", codes, 7);
+  BinaryWriter raw, packed;
+  SerializeColumn(*col, &raw, false);
+  SerializeColumn(*col, &packed, true);
+  EXPECT_LT(packed.size() * 2, raw.size());  // 3 bits vs 32 bits
+
+  BinaryReader r(packed.buffer());
+  ColumnPtr back;
+  ASSERT_TRUE(DeserializeColumn(&r, &back).ok());
+  ASSERT_EQ(back->size(), col->size());
+  EXPECT_EQ(back->cardinality(), 7);
+  for (size_t i = 0; i < codes.size(); ++i) {
+    EXPECT_EQ(back->category_at(i), codes[i]);
+  }
+}
+
+TEST(ColumnCodecTest, NumericUnaffectedByCompressFlag) {
+  ColumnPtr col = Column::Numeric("n", {1.5, 2.5, MissingNumeric()});
+  BinaryWriter w;
+  SerializeColumn(*col, &w, true);
+  BinaryReader r(w.buffer());
+  ColumnPtr back;
+  ASSERT_TRUE(DeserializeColumn(&r, &back).ok());
+  EXPECT_EQ(back->numeric_at(1), 2.5);
+  EXPECT_TRUE(back->IsMissing(2));
+}
+
+TEST(CompressedEngineTest, SameTreesLessTraffic) {
+  DataTable t = MakeData(3, 3000, 23);
+  ForestJobSpec spec;
+  spec.num_trees = 3;
+  spec.tree.max_depth = 8;
+  spec.column_ratio = 0.8;
+
+  EngineConfig plain;
+  plain.num_workers = 3;
+  plain.compers_per_worker = 2;
+  plain.tau_d = 500;
+  plain.tau_dfs = 1500;
+  EngineConfig compressed = plain;
+  compressed.compress_transfers = true;
+
+  uint64_t plain_bytes, packed_bytes;
+  ForestModel a, b;
+  {
+    TreeServerCluster cluster(t, plain);
+    a = cluster.TrainForest(spec);
+    plain_bytes = cluster.metrics().bytes_sent_total;
+  }
+  {
+    TreeServerCluster cluster(t, compressed);
+    b = cluster.TrainForest(spec);
+    packed_bytes = cluster.metrics().bytes_sent_total;
+  }
+  for (size_t i = 0; i < a.num_trees(); ++i) {
+    EXPECT_TRUE(a.tree(i).StructurallyEqual(b.tree(i)));
+  }
+  EXPECT_LT(packed_bytes, plain_bytes);
+}
+
+TEST(JobDependencyTest, DependentJobWaitsForPredecessor) {
+  DataTable t = MakeData(2, 1500, 29);
+  EngineConfig cfg;
+  cfg.num_workers = 2;
+  cfg.compers_per_worker = 2;
+  cfg.tau_d = 400;
+  cfg.tau_dfs = 1200;
+  TreeServerCluster cluster(t, cfg);
+
+  ForestJobSpec layer0;
+  layer0.name = "layer0";
+  layer0.num_trees = 3;
+  layer0.tree.max_depth = 7;
+  uint32_t j0 = cluster.Submit(layer0);
+
+  ForestJobSpec layer1;
+  layer1.name = "layer1";
+  layer1.num_trees = 3;
+  layer1.tree.max_depth = 7;
+  layer1.seed = 2;
+  layer1.depends_on = {j0};
+  uint32_t j1 = cluster.Submit(layer1);
+
+  ForestJobSpec layer2;
+  layer2.name = "layer2";
+  layer2.num_trees = 2;
+  layer2.tree.max_depth = 5;
+  layer2.seed = 3;
+  layer2.depends_on = {j1};
+  uint32_t j2 = cluster.Submit(layer2);
+
+  // Waiting on the LAST job first must not deadlock: the chain
+  // resolves in dependency order.
+  ForestModel m2 = cluster.Wait(j2);
+  ForestModel m1 = cluster.Wait(j1);
+  ForestModel m0 = cluster.Wait(j0);
+  EXPECT_EQ(m0.num_trees(), 3u);
+  EXPECT_EQ(m1.num_trees(), 3u);
+  EXPECT_EQ(m2.num_trees(), 2u);
+  EXPECT_TRUE(m0.tree(0).StructurallyEqual(
+      TrainForestSerial(t, layer0).tree(0)));
+}
+
+TEST(JobDependencyTest, IndependentJobsUnaffected) {
+  DataTable t = MakeData(2, 1000, 31);
+  EngineConfig cfg;
+  cfg.num_workers = 2;
+  cfg.compers_per_worker = 1;
+  cfg.tau_d = 100000;
+  cfg.tau_dfs = 200000;
+  TreeServerCluster cluster(t, cfg);
+  ForestJobSpec a;
+  a.num_trees = 2;
+  ForestJobSpec b;
+  b.num_trees = 2;
+  b.seed = 9;
+  uint32_t ja = cluster.Submit(a);
+  uint32_t jb = cluster.Submit(b);
+  EXPECT_EQ(cluster.Wait(jb).num_trees(), 2u);
+  EXPECT_EQ(cluster.Wait(ja).num_trees(), 2u);
+}
+
+}  // namespace
+}  // namespace treeserver

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "engine/cluster.h"
+#include "forest/forest.h"
+#include "table/datasets.h"
+
+namespace treeserver {
+namespace {
+
+DataTable MakeData(size_t rows, uint64_t seed) {
+  DatasetProfile p;
+  p.rows = rows;
+  p.num_numeric = 6;
+  p.num_categorical = 2;
+  p.num_classes = 3;
+  p.noise = 0.08;
+  return GenerateTable(p, seed);
+}
+
+TEST(JobSpecSerializationTest, RoundTrip) {
+  ForestJobSpec spec;
+  spec.name = "rf-xyz";
+  spec.num_trees = 17;
+  spec.tree.max_depth = 9;
+  spec.tree.min_leaf = 3;
+  spec.tree.impurity = Impurity::kEntropy;
+  spec.tree.extra_trees = true;
+  spec.column_ratio = 0.4;
+  spec.sqrt_columns = true;
+  spec.seed = 123456;
+  spec.depends_on = {2, 5};
+
+  BinaryWriter w;
+  spec.Serialize(&w);
+  BinaryReader r(w.buffer());
+  ForestJobSpec back;
+  ASSERT_TRUE(ForestJobSpec::Deserialize(&r, &back).ok());
+  EXPECT_EQ(back.name, "rf-xyz");
+  EXPECT_EQ(back.num_trees, 17);
+  EXPECT_EQ(back.tree.max_depth, 9);
+  EXPECT_EQ(back.tree.min_leaf, 3u);
+  EXPECT_EQ(back.tree.impurity, Impurity::kEntropy);
+  EXPECT_TRUE(back.tree.extra_trees);
+  EXPECT_EQ(back.column_ratio, 0.4);
+  EXPECT_TRUE(back.sqrt_columns);
+  EXPECT_EQ(back.seed, 123456u);
+  EXPECT_EQ(back.depends_on, (std::vector<uint32_t>{2, 5}));
+}
+
+TEST(MasterFailoverTest, MidJobFailoverCompletesWithSameForest) {
+  DataTable t = MakeData(3000, 301);
+  EngineConfig cfg;
+  cfg.num_workers = 3;
+  cfg.compers_per_worker = 2;
+  cfg.tau_d = 400;
+  cfg.tau_dfs = 1200;
+  ForestJobSpec spec;
+  spec.num_trees = 10;
+  spec.tree.max_depth = 8;
+  spec.column_ratio = 0.8;
+  spec.seed = 17;
+
+  TreeServerCluster cluster(t, cfg);
+  uint32_t job = cluster.Submit(spec);
+  // Let some trees finish, then the master "dies" and the secondary
+  // takes over from the checkpoint.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  cluster.FailoverMaster();
+  ForestModel forest = cluster.Wait(job);
+  ASSERT_EQ(forest.num_trees(), 10u);
+
+  ForestModel reference = TrainForestSerial(t, spec, 2);
+  for (size_t i = 0; i < forest.num_trees(); ++i) {
+    EXPECT_TRUE(forest.tree(i).StructurallyEqual(reference.tree(i)))
+        << "tree " << i << " differs after master failover";
+  }
+}
+
+TEST(MasterFailoverTest, FailoverBeforeAnyJob) {
+  DataTable t = MakeData(800, 303);
+  EngineConfig cfg;
+  cfg.num_workers = 2;
+  cfg.compers_per_worker = 1;
+  TreeServerCluster cluster(t, cfg);
+  cluster.FailoverMaster();
+  ForestJobSpec spec;
+  spec.num_trees = 2;
+  ForestModel m = cluster.TrainForest(spec);
+  EXPECT_EQ(m.num_trees(), 2u);
+}
+
+TEST(MasterFailoverTest, CompletedJobsSurviveFailover) {
+  DataTable t = MakeData(1000, 307);
+  EngineConfig cfg;
+  cfg.num_workers = 2;
+  cfg.compers_per_worker = 2;
+  TreeServerCluster cluster(t, cfg);
+  ForestJobSpec spec;
+  spec.num_trees = 3;
+  spec.tree.max_depth = 6;
+  uint32_t job = cluster.Submit(spec);
+  ForestModel before = cluster.Wait(job);
+  cluster.FailoverMaster();
+  // The same job id still resolves, with the same trees.
+  ForestModel after = cluster.Wait(job);
+  ASSERT_EQ(after.num_trees(), before.num_trees());
+  for (size_t i = 0; i < after.num_trees(); ++i) {
+    EXPECT_TRUE(after.tree(i).StructurallyEqual(before.tree(i)));
+  }
+}
+
+TEST(MasterFailoverTest, RepeatedFailovers) {
+  DataTable t = MakeData(1500, 311);
+  EngineConfig cfg;
+  cfg.num_workers = 3;
+  cfg.compers_per_worker = 1;
+  cfg.tau_d = 300;
+  cfg.tau_dfs = 900;
+  TreeServerCluster cluster(t, cfg);
+  ForestJobSpec spec;
+  spec.num_trees = 6;
+  spec.tree.max_depth = 7;
+  uint32_t job = cluster.Submit(spec);
+  for (int k = 0; k < 3; ++k) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    cluster.FailoverMaster();
+  }
+  ForestModel forest = cluster.Wait(job);
+  ASSERT_EQ(forest.num_trees(), 6u);
+  ForestModel reference = TrainForestSerial(t, spec);
+  for (size_t i = 0; i < forest.num_trees(); ++i) {
+    EXPECT_TRUE(forest.tree(i).StructurallyEqual(reference.tree(i)));
+  }
+}
+
+TEST(MasterFailoverTest, WorkerCrashThenMasterFailover) {
+  DataTable t = MakeData(2500, 313);
+  EngineConfig cfg;
+  cfg.num_workers = 4;
+  cfg.compers_per_worker = 2;
+  cfg.replication = 2;
+  cfg.tau_d = 400;
+  cfg.tau_dfs = 1200;
+  TreeServerCluster cluster(t, cfg);
+  ForestJobSpec spec;
+  spec.num_trees = 6;
+  spec.tree.max_depth = 7;
+  spec.seed = 23;
+  uint32_t job = cluster.Submit(spec);
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  cluster.CrashWorker(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  // The checkpoint carries the dead-worker information: the new
+  // master must not assign anything to worker 1.
+  cluster.FailoverMaster();
+  ForestModel forest = cluster.Wait(job);
+  ASSERT_EQ(forest.num_trees(), 6u);
+  ForestModel reference = TrainForestSerial(t, spec);
+  for (size_t i = 0; i < forest.num_trees(); ++i) {
+    EXPECT_TRUE(forest.tree(i).StructurallyEqual(reference.tree(i)));
+  }
+}
+
+}  // namespace
+}  // namespace treeserver

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "forest/forest.h"
+#include "table/datasets.h"
+
+namespace treeserver {
+namespace {
+
+DataTable MakeData(int classes, size_t rows = 2000, uint64_t seed = 5) {
+  DatasetProfile p;
+  p.rows = rows;
+  p.num_numeric = 6;
+  p.num_categorical = 2;
+  p.num_classes = classes;
+  p.noise = 0.05;
+  p.concept_depth = 6;
+  return GenerateTable(p, seed);
+}
+
+TEST(ForestJobSpecTest, ColumnsPerTree) {
+  ForestJobSpec spec;
+  spec.column_ratio = 0.5;
+  EXPECT_EQ(spec.ColumnsPerTree(10), 5);
+  spec.column_ratio = 0.0;
+  EXPECT_EQ(spec.ColumnsPerTree(10), 1);  // at least one column
+  spec.sqrt_columns = true;
+  EXPECT_EQ(spec.ColumnsPerTree(100), 10);
+  EXPECT_EQ(spec.ColumnsPerTree(30), 5);
+}
+
+TEST(ForestJobSpecTest, SampleColumnsDeterministicAndValid) {
+  DataTable t = MakeData(3);
+  ForestJobSpec spec;
+  spec.seed = 9;
+  spec.column_ratio = 0.5;
+  auto a = spec.SampleColumns(t.schema(), 2);
+  auto b = spec.SampleColumns(t.schema(), 2);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 4u);
+  for (int col : a) {
+    EXPECT_NE(col, t.schema().target_index());
+    EXPECT_GE(col, 0);
+    EXPECT_LT(col, t.num_columns());
+  }
+  // Different trees generally get different sets.
+  auto c = spec.SampleColumns(t.schema(), 3);
+  EXPECT_TRUE(std::is_sorted(c.begin(), c.end()));
+}
+
+TEST(ForestJobSpecTest, FullRatioUsesAllFeatures) {
+  DataTable t = MakeData(2, 500);
+  ForestJobSpec spec;
+  spec.column_ratio = 1.0;
+  EXPECT_EQ(spec.SampleColumns(t.schema(), 0), t.schema().FeatureIndices());
+}
+
+TEST(ForestModelTest, SerialForestBeatsSingleTreeOnNoisyData) {
+  DataTable all = MakeData(4, 4000, 21);
+  Rng rng(3);
+  auto [train, test] = all.TrainTestSplit(0.3, &rng);
+
+  ForestJobSpec one;
+  one.num_trees = 1;
+  one.tree.max_depth = 8;
+  ForestModel single = TrainForestSerial(train, one);
+
+  ForestJobSpec many = one;
+  many.num_trees = 15;
+  many.column_ratio = 0.6;
+  many.seed = 5;
+  ForestModel forest = TrainForestSerial(train, many, /*num_threads=*/4);
+
+  double acc1 = EvaluateAccuracy(single, test);
+  double accN = EvaluateAccuracy(forest, test);
+  EXPECT_GT(accN, 0.5);
+  EXPECT_GE(accN, acc1 - 0.05);  // bagging should not be much worse
+}
+
+TEST(ForestModelTest, PredictPmfAveragesTrees) {
+  DataTable t = MakeData(2, 600);
+  ForestJobSpec spec;
+  spec.num_trees = 5;
+  spec.tree.max_depth = 4;
+  spec.column_ratio = 0.7;
+  ForestModel forest = TrainForestSerial(t, spec);
+  auto pmf = forest.PredictPmf(t, 0);
+  ASSERT_EQ(pmf.size(), 2u);
+  EXPECT_NEAR(pmf[0] + pmf[1], 1.0f, 1e-5f);
+}
+
+TEST(ForestModelTest, RegressionForest) {
+  DatasetProfile p;
+  p.rows = 4000;
+  p.num_numeric = 5;
+  p.num_categorical = 2;
+  p.num_classes = 0;  // regression
+  p.noise = 0.02;
+  p.concept_depth = 4;  // learnable with this many rows
+  DataTable all = GenerateTable(p, 77);
+  Rng rng(4);
+  auto [train, test] = all.TrainTestSplit(0.25, &rng);
+
+  ForestJobSpec spec;
+  spec.num_trees = 10;
+  spec.tree.max_depth = 10;
+  spec.tree.impurity = Impurity::kVariance;
+  spec.column_ratio = 0.8;
+  ForestModel forest = TrainForestSerial(train, spec, 4);
+  double rmse = EvaluateRmse(forest, test);
+
+  // Baseline: predicting the global mean.
+  RegStats stats;
+  for (size_t i = 0; i < train.num_rows(); ++i) {
+    stats.Add(train.target_value_at(i));
+  }
+  double baseline = 0.0;
+  for (size_t i = 0; i < test.num_rows(); ++i) {
+    double d = stats.Mean() - test.target_value_at(i);
+    baseline += d * d;
+  }
+  baseline = std::sqrt(baseline / test.num_rows());
+  EXPECT_LT(rmse, baseline * 0.8);
+  EXPECT_EQ(EvaluateMetric(forest, test), rmse);
+}
+
+TEST(ForestModelTest, SerializationRoundTrip) {
+  DataTable t = MakeData(3, 800);
+  ForestJobSpec spec;
+  spec.num_trees = 4;
+  spec.tree.max_depth = 5;
+  ForestModel forest = TrainForestSerial(t, spec);
+
+  BinaryWriter w;
+  forest.Serialize(&w);
+  BinaryReader r(w.buffer());
+  ForestModel back;
+  ASSERT_TRUE(ForestModel::Deserialize(&r, &back).ok());
+  EXPECT_EQ(back.num_trees(), 4u);
+  EXPECT_EQ(back.kind(), TaskKind::kClassification);
+  for (size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(forest.PredictLabel(t, i), back.PredictLabel(t, i));
+  }
+}
+
+TEST(ForestModelTest, ExtraTreesForestTrains) {
+  DataTable t = MakeData(3, 1500);
+  ForestJobSpec spec;
+  spec.num_trees = 10;
+  spec.tree.max_depth = 10;
+  spec.tree.extra_trees = true;
+  ForestModel forest = TrainForestSerial(t, spec, 2);
+  double acc = EvaluateAccuracy(forest, t);
+  EXPECT_GT(acc, 0.4);  // completely-random trees still learn something
+}
+
+TEST(ForestModelTest, MultithreadedMatchesSingleThreaded) {
+  DataTable t = MakeData(2, 1000);
+  ForestJobSpec spec;
+  spec.num_trees = 6;
+  spec.tree.max_depth = 6;
+  spec.column_ratio = 0.5;
+  spec.seed = 13;
+  ForestModel a = TrainForestSerial(t, spec, 1);
+  ForestModel b = TrainForestSerial(t, spec, 4);
+  ASSERT_EQ(a.num_trees(), b.num_trees());
+  for (size_t i = 0; i < a.num_trees(); ++i) {
+    EXPECT_TRUE(a.tree(i).StructurallyEqual(b.tree(i)));
+  }
+}
+
+}  // namespace
+}  // namespace treeserver

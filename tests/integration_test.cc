@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "baselines/planet.h"
+#include "dfs/dfs.h"
+#include "engine/cluster.h"
+#include "forest/forest.h"
+#include "table/csv.h"
+#include "table/datasets.h"
+
+namespace treeserver {
+namespace {
+
+// End-to-end paths across module boundaries: DFS -> engine, CSV ->
+// engine, engine -> serialization -> prediction, and cross-system
+// model-quality comparisons on the same data.
+
+TEST(IntegrationTest, DfsRoundTripThenDistributedTraining) {
+  DatasetProfile p;
+  p.rows = 2000;
+  p.num_numeric = 6;
+  p.num_categorical = 2;
+  p.num_classes = 3;
+  DataTable original = GenerateTable(p, 401);
+
+  auto root = std::filesystem::temp_directory_path() /
+              "treeserver_integration_dfs";
+  std::filesystem::remove_all(root);
+  LocalDfs dfs(root.string());
+  ASSERT_TRUE(dfs.Put(original, "train", DfsLayout{4, 512}).ok());
+  auto loaded = dfs.ReadTable("train");
+  ASSERT_TRUE(loaded.ok());
+
+  EngineConfig cfg;
+  cfg.num_workers = 3;
+  cfg.compers_per_worker = 2;
+  cfg.tau_d = 400;
+  cfg.tau_dfs = 1200;
+  ForestJobSpec spec;
+  spec.num_trees = 3;
+  spec.tree.max_depth = 7;
+  spec.column_ratio = 0.8;
+
+  // Training on the DFS round-tripped table equals training on the
+  // original (bit-equal data), which equals the serial reference.
+  TreeServerCluster cluster(*loaded, cfg);
+  ForestModel from_dfs = cluster.TrainForest(spec);
+  ForestModel reference = TrainForestSerial(original, spec);
+  for (size_t i = 0; i < from_dfs.num_trees(); ++i) {
+    EXPECT_TRUE(from_dfs.tree(i).StructurallyEqual(reference.tree(i)));
+  }
+  std::filesystem::remove_all(root);
+}
+
+TEST(IntegrationTest, CsvToClusterToSerializedModel) {
+  // Generate, write as CSV, re-read (string-typed world), train on a
+  // cluster, serialize, reload, and predict.
+  DatasetProfile p;
+  p.rows = 1200;
+  p.num_numeric = 4;
+  p.num_categorical = 2;
+  p.num_classes = 2;
+  DataTable original = GenerateTable(p, 403);
+  std::string csv = WriteCsvString(original);
+  CsvOptions opts;
+  opts.has_task_kind = true;
+  opts.task_kind = TaskKind::kClassification;
+  auto parsed = ReadCsvString(csv, opts);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->num_rows(), original.num_rows());
+
+  EngineConfig cfg;
+  cfg.num_workers = 2;
+  cfg.compers_per_worker = 2;
+  TreeServerCluster cluster(*parsed, cfg);
+  ForestJobSpec spec;
+  spec.num_trees = 5;
+  spec.tree.max_depth = 8;
+  spec.column_ratio = 0.7;
+  ForestModel model = cluster.TrainForest(spec);
+
+  BinaryWriter w;
+  model.Serialize(&w);
+  BinaryReader r(w.buffer());
+  ForestModel restored;
+  ASSERT_TRUE(ForestModel::Deserialize(&r, &restored).ok());
+  for (size_t i = 0; i < parsed->num_rows(); i += 101) {
+    EXPECT_EQ(model.PredictLabel(*parsed, i),
+              restored.PredictLabel(*parsed, i));
+  }
+  EXPECT_GT(EvaluateAccuracy(restored, *parsed), 0.7);
+}
+
+TEST(IntegrationTest, ExactEngineVsHistogramBaselineOnSameSplit) {
+  DatasetProfile p;
+  p.rows = 5000;
+  p.num_numeric = 8;
+  p.num_categorical = 2;
+  p.num_classes = 2;
+  p.concept_depth = 7;
+  DataTable all = GenerateTable(p, 405);
+  Rng rng(5);
+  auto [train, test] = all.TrainTestSplit(0.25, &rng);
+
+  EngineConfig cfg;
+  cfg.num_workers = 3;
+  cfg.compers_per_worker = 2;
+  cfg.tau_d = 600;
+  cfg.tau_dfs = 1800;
+  ForestJobSpec spec;
+  spec.num_trees = 10;
+  spec.tree.max_depth = 10;
+  spec.column_ratio = 0.6;
+  TreeServerCluster cluster(train, cfg);
+  ForestModel exact = cluster.TrainForest(spec);
+
+  PlanetConfig planet;
+  planet.num_trees = 10;
+  planet.max_depth = 10;
+  planet.column_ratio = 0.6;
+  planet.max_bins = 8;  // coarse bins to make the approximation bite
+  planet.job_overhead_ms = 0;
+  planet.shuffle_bandwidth_mbps = 0;
+  ForestModel approx = TrainPlanet(train, planet);
+
+  double exact_acc = EvaluateAccuracy(exact, test);
+  double approx_acc = EvaluateAccuracy(approx, test);
+  EXPECT_GT(exact_acc, 0.75);
+  // Exact split finding should not lose to coarse histograms.
+  EXPECT_GE(exact_acc, approx_acc - 0.01);
+}
+
+TEST(IntegrationTest, DepthCutoffPredictionMonotonicCoverage) {
+  // Appendix D: one deep model answers at every depth. Accuracy at
+  // depth d should (weakly) improve with d on training data.
+  DatasetProfile p;
+  p.rows = 3000;
+  p.num_numeric = 6;
+  p.num_categorical = 0;
+  p.num_classes = 3;
+  p.concept_depth = 6;
+  p.noise = 0.05;
+  DataTable t = GenerateTable(p, 407);
+  EngineConfig cfg;
+  cfg.num_workers = 2;
+  cfg.compers_per_worker = 2;
+  TreeServerCluster cluster(t, cfg);
+  ForestJobSpec spec;
+  spec.num_trees = 1;
+  spec.tree.max_depth = 12;
+  ForestModel model = cluster.TrainForest(spec);
+
+  double prev = 0.0;
+  for (int depth : {0, 2, 4, 8, 12}) {
+    size_t correct = 0;
+    for (size_t i = 0; i < t.num_rows(); ++i) {
+      if (model.PredictLabel(t, i, depth) == t.label_at(i)) ++correct;
+    }
+    double acc = static_cast<double>(correct) / t.num_rows();
+    EXPECT_GE(acc, prev - 0.02) << "accuracy collapsed at depth " << depth;
+    prev = acc;
+  }
+  EXPECT_GT(prev, 0.85);  // full depth fits the training data well
+}
+
+TEST(IntegrationTest, FeatureImportanceConsistentAcrossEngineAndSerial) {
+  DatasetProfile p;
+  p.rows = 2000;
+  p.num_numeric = 5;
+  p.num_categorical = 2;
+  p.num_classes = 2;
+  DataTable t = GenerateTable(p, 409);
+  ForestJobSpec spec;
+  spec.num_trees = 4;
+  spec.tree.max_depth = 7;
+  spec.column_ratio = 0.8;
+
+  EngineConfig cfg;
+  cfg.num_workers = 3;
+  cfg.compers_per_worker = 2;
+  cfg.tau_d = 300;
+  cfg.tau_dfs = 900;
+  TreeServerCluster cluster(t, cfg);
+  ForestModel engine_model = cluster.TrainForest(spec);
+  ForestModel serial_model = TrainForestSerial(t, spec);
+
+  std::vector<double> a = FeatureImportance(engine_model, t.schema());
+  std::vector<double> b = FeatureImportance(serial_model, t.schema());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i], b[i], 1e-9) << "column " << i;
+  }
+}
+
+}  // namespace
+}  // namespace treeserver

@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "table/csv.h"
+#include "table/data_table.h"
+#include "table/datasets.h"
+
+namespace treeserver {
+namespace {
+
+DataTable SmallClassificationTable() {
+  // The Fig. 1 customer table, encoded: Age (numeric), Education
+  // (categorical, 5 values), HomeOwner (categorical, 2), Income
+  // (numeric), Default (target, 2 classes).
+  std::vector<double> age = {24, 28, 44, 32, 36, 48, 37, 42, 54, 47};
+  // 0=Primary 1=Secondary 2=Bachelor 3=Master 4=PhD
+  std::vector<int32_t> edu = {2, 3, 2, 1, 4, 2, 1, 2, 1, 4};
+  std::vector<int32_t> owner = {0, 1, 1, 1, 0, 1, 0, 0, 0, 1};
+  std::vector<double> income = {5000, 7500, 5500, 6000, 10000,
+                                6500, 3000, 6000, 4000, 8000};
+  std::vector<int32_t> y = {0, 0, 0, 1, 0, 0, 1, 0, 1, 0};
+
+  std::vector<ColumnMeta> metas = {
+      {"Age", DataType::kNumeric, 0},
+      {"Education", DataType::kCategorical, 5},
+      {"HomeOwner", DataType::kCategorical, 2},
+      {"Income", DataType::kNumeric, 0},
+      {"Default", DataType::kCategorical, 2},
+  };
+  std::vector<ColumnPtr> cols = {
+      Column::Numeric("Age", age),
+      Column::Categorical("Education", edu, 5),
+      Column::Categorical("HomeOwner", owner, 2),
+      Column::Numeric("Income", income),
+      Column::Categorical("Default", y, 2),
+  };
+  auto table = DataTable::Make(
+      Schema(std::move(metas), 4, TaskKind::kClassification),
+      std::move(cols));
+  EXPECT_TRUE(table.ok());
+  return std::move(table).value();
+}
+
+TEST(ColumnTest, NumericBasics) {
+  auto c = Column::Numeric("x", {1.0, 2.0, MissingNumeric()});
+  EXPECT_EQ(c->type(), DataType::kNumeric);
+  EXPECT_EQ(c->size(), 3u);
+  EXPECT_EQ(c->numeric_at(1), 2.0);
+  EXPECT_FALSE(c->IsMissing(0));
+  EXPECT_TRUE(c->IsMissing(2));
+  EXPECT_EQ(c->ByteSize(), 3 * sizeof(double));
+}
+
+TEST(ColumnTest, CategoricalBasics) {
+  auto c = Column::Categorical("x", {0, 2, kMissingCategory, 1}, 3);
+  EXPECT_EQ(c->type(), DataType::kCategorical);
+  EXPECT_EQ(c->cardinality(), 3);
+  EXPECT_TRUE(c->IsMissing(2));
+  EXPECT_EQ(c->category_at(1), 2);
+}
+
+TEST(ColumnTest, GatherSelectsRows) {
+  auto c = Column::Numeric("x", {10, 20, 30, 40});
+  auto g = c->Gather({3, 0, 3});
+  ASSERT_EQ(g->size(), 3u);
+  EXPECT_EQ(g->numeric_at(0), 40);
+  EXPECT_EQ(g->numeric_at(1), 10);
+  EXPECT_EQ(g->numeric_at(2), 40);
+  EXPECT_EQ(g->name(), "x");
+}
+
+TEST(DataTableTest, MakeValidates) {
+  // Length mismatch.
+  std::vector<ColumnMeta> metas = {{"a", DataType::kNumeric, 0},
+                                   {"y", DataType::kCategorical, 2}};
+  auto bad = DataTable::Make(
+      Schema(metas, 1, TaskKind::kClassification),
+      {Column::Numeric("a", {1, 2, 3}), Column::Categorical("y", {0}, 2)});
+  EXPECT_FALSE(bad.ok());
+
+  // Regression with categorical target.
+  auto bad2 = DataTable::Make(
+      Schema(metas, 1, TaskKind::kRegression),
+      {Column::Numeric("a", {1.0}), Column::Categorical("y", {0}, 2)});
+  EXPECT_FALSE(bad2.ok());
+}
+
+TEST(DataTableTest, SchemaAccessors) {
+  DataTable t = SmallClassificationTable();
+  EXPECT_EQ(t.num_rows(), 10u);
+  EXPECT_EQ(t.num_columns(), 5);
+  EXPECT_EQ(t.schema().num_features(), 4);
+  EXPECT_EQ(t.schema().num_classes(), 2);
+  EXPECT_EQ(t.schema().FeatureIndices(), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(t.label_at(3), 1);
+}
+
+TEST(DataTableTest, GatherRows) {
+  DataTable t = SmallClassificationTable();
+  DataTable sub = t.GatherRows({0, 9});
+  EXPECT_EQ(sub.num_rows(), 2u);
+  EXPECT_EQ(sub.column(0)->numeric_at(1), 47);
+  EXPECT_EQ(sub.label_at(0), 0);
+}
+
+TEST(DataTableTest, TrainTestSplitPartitions) {
+  DataTable t = SmallClassificationTable();
+  Rng rng(5);
+  auto [train, test] = t.TrainTestSplit(0.3, &rng);
+  EXPECT_EQ(test.num_rows(), 3u);
+  EXPECT_EQ(train.num_rows(), 7u);
+}
+
+TEST(DataTableTest, WithExtraFeaturesAppendsBeforeTarget) {
+  DataTable t = SmallClassificationTable();
+  auto extra = Column::Numeric("score", std::vector<double>(10, 0.5));
+  DataTable t2 = t.WithExtraFeatures({extra});
+  EXPECT_EQ(t2.num_columns(), 6);
+  EXPECT_EQ(t2.schema().num_features(), 5);
+  EXPECT_EQ(t2.schema().column(4).name, "score");
+  EXPECT_EQ(t2.schema().target_index(), 5);
+  EXPECT_EQ(t2.label_at(3), 1);  // target preserved
+}
+
+TEST(CsvTest, ParsesTypesAndMissing) {
+  std::string csv =
+      "age,city,income,label\n"
+      "24,ny,5000,no\n"
+      "28,sf,,yes\n"
+      ",ny,7000,no\n";
+  auto r = ReadCsvString(csv);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const DataTable& t = *r;
+  EXPECT_EQ(t.num_rows(), 3u);
+  EXPECT_EQ(t.schema().task_kind(), TaskKind::kClassification);
+  EXPECT_EQ(t.column(0)->type(), DataType::kNumeric);
+  EXPECT_EQ(t.column(1)->type(), DataType::kCategorical);
+  EXPECT_EQ(t.column(1)->cardinality(), 2);
+  EXPECT_TRUE(t.column(2)->IsMissing(1));
+  EXPECT_TRUE(t.column(0)->IsMissing(2));
+  EXPECT_EQ(t.schema().num_classes(), 2);
+}
+
+TEST(CsvTest, NumericTargetIsRegression) {
+  std::string csv = "a,y\n1,10.5\n2,11.5\n";
+  auto r = ReadCsvString(csv);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->schema().task_kind(), TaskKind::kRegression);
+}
+
+TEST(CsvTest, ExplicitClassificationOnNumericLabels) {
+  std::string csv = "a,y\n1,0\n2,1\n3,0\n";
+  CsvOptions opts;
+  opts.has_task_kind = true;
+  opts.task_kind = TaskKind::kClassification;
+  auto r = ReadCsvString(csv, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->schema().task_kind(), TaskKind::kClassification);
+  EXPECT_EQ(r->schema().num_classes(), 2);
+}
+
+TEST(CsvTest, TargetColumnByName) {
+  std::string csv = "y,a\nno,1\nyes,2\n";
+  CsvOptions opts;
+  opts.target_column = "y";
+  auto r = ReadCsvString(csv, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->schema().target_index(), 0);
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  EXPECT_FALSE(ReadCsvString("a,b\n1\n").ok());
+  EXPECT_FALSE(ReadCsvString("", CsvOptions()).ok());
+}
+
+TEST(CsvTest, RoundTripThroughWriter) {
+  DataTable t = SmallClassificationTable();
+  std::string csv = WriteCsvString(t);
+  auto r = ReadCsvString(csv);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->num_rows(), t.num_rows());
+  EXPECT_EQ(r->num_columns(), t.num_columns());
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    EXPECT_EQ(r->column(0)->numeric_at(i), t.column(0)->numeric_at(i));
+  }
+}
+
+TEST(DatasetsTest, PaperProfilesMatchTableOne) {
+  auto profiles = PaperProfiles(0.001);
+  ASSERT_EQ(profiles.size(), 11u);
+  EXPECT_EQ(profiles[0].name, "Allstate");
+  EXPECT_EQ(profiles[0].num_classes, 0);  // regression
+  EXPECT_EQ(profiles[0].num_numeric, 13);
+  EXPECT_EQ(profiles[0].num_categorical, 14);
+  EXPECT_EQ(profiles[1].name, "Higgs_boson");
+  EXPECT_EQ(profiles[1].num_numeric, 28);
+  EXPECT_EQ(profiles[5].name, "Poker");
+  EXPECT_EQ(profiles[5].num_numeric, 0);
+  EXPECT_EQ(profiles[5].num_categorical, 11);
+}
+
+TEST(DatasetsTest, GeneratedTableMatchesProfile) {
+  DatasetProfile p = PaperProfile("Covtype", 0.001);
+  DataTable t = GenerateTable(p, 42);
+  EXPECT_EQ(t.num_rows(), p.rows);
+  EXPECT_EQ(t.schema().num_features(), 54);
+  EXPECT_EQ(t.schema().num_classes(), 7);
+  // Labels are in range.
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    ASSERT_GE(t.label_at(i), 0);
+    ASSERT_LT(t.label_at(i), 7);
+  }
+}
+
+TEST(DatasetsTest, GenerationIsDeterministic) {
+  DatasetProfile p = PaperProfile("SUSY", 0.0005);
+  DataTable a = GenerateTable(p, 7);
+  DataTable b = GenerateTable(p, 7);
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  for (size_t i = 0; i < a.num_rows(); ++i) {
+    EXPECT_EQ(a.column(0)->numeric_at(i), b.column(0)->numeric_at(i));
+    EXPECT_EQ(a.label_at(i), b.label_at(i));
+  }
+}
+
+TEST(DatasetsTest, MissingInjectedForAllstate) {
+  DatasetProfile p = PaperProfile("Allstate", 0.0005);
+  DataTable t = GenerateTable(p, 9);
+  size_t missing = 0;
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    if (t.column(0)->IsMissing(i)) ++missing;
+  }
+  double frac = static_cast<double>(missing) / t.num_rows();
+  EXPECT_GT(frac, 0.01);
+  EXPECT_LT(frac, 0.15);
+  EXPECT_EQ(t.schema().task_kind(), TaskKind::kRegression);
+}
+
+TEST(DatasetsTest, ImagesHaveExpectedShape) {
+  ImageDataset ds = GenerateImages(50, 3);
+  EXPECT_EQ(ds.size(), 50u);
+  EXPECT_EQ(ds.images[0].size(), 28u * 28u);
+  std::set<int32_t> labels(ds.labels.begin(), ds.labels.end());
+  for (int32_t l : labels) {
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, 10);
+  }
+  for (float v : ds.images[0]) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+}  // namespace
+}  // namespace treeserver

@@ -1,0 +1,297 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "table/datasets.h"
+#include "tree/model.h"
+#include "tree/trainer.h"
+
+namespace treeserver {
+namespace {
+
+// A tiny fully learnable classification table: y = (a <= 4) XOR-free.
+DataTable TinyTable() {
+  std::vector<double> a = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<double> b = {0.1, 0.9, 0.2, 0.8, 0.3, 0.7, 0.4, 0.6};
+  std::vector<int32_t> y = {0, 0, 0, 0, 1, 1, 1, 1};
+  std::vector<ColumnMeta> metas = {{"a", DataType::kNumeric, 0},
+                                   {"b", DataType::kNumeric, 0},
+                                   {"y", DataType::kCategorical, 2}};
+  std::vector<ColumnPtr> cols = {Column::Numeric("a", a),
+                                 Column::Numeric("b", b),
+                                 Column::Categorical("y", y, 2)};
+  auto t = DataTable::Make(Schema(metas, 2, TaskKind::kClassification),
+                           std::move(cols));
+  EXPECT_TRUE(t.ok());
+  return std::move(t).value();
+}
+
+TEST(TrainerTest, LearnsSeparableData) {
+  DataTable t = TinyTable();
+  TreeConfig cfg;
+  cfg.max_depth = 4;
+  TreeModel model = TrainTreeOnTable(t, {0, 1}, cfg);
+  // Root splits on column 0 at threshold 4.
+  EXPECT_FALSE(model.node(0).is_leaf());
+  EXPECT_EQ(model.node(0).condition.column, 0);
+  EXPECT_DOUBLE_EQ(model.node(0).condition.threshold, 4.0);
+  // Perfect training accuracy.
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    EXPECT_EQ(model.PredictLabel(t, i), t.label_at(i));
+  }
+}
+
+TEST(TrainerTest, MaxDepthZeroIsSingleLeaf) {
+  DataTable t = TinyTable();
+  TreeConfig cfg;
+  cfg.max_depth = 0;
+  TreeModel model = TrainTreeOnTable(t, {0, 1}, cfg);
+  EXPECT_EQ(model.num_nodes(), 1u);
+  EXPECT_TRUE(model.node(0).is_leaf());
+  EXPECT_EQ(model.node(0).n_rows, 8u);
+  // PMF is uniform over the two balanced classes.
+  EXPECT_FLOAT_EQ(model.node(0).pmf[0], 0.5f);
+}
+
+TEST(TrainerTest, MinLeafStopsSplitting) {
+  DataTable t = TinyTable();
+  TreeConfig cfg;
+  cfg.max_depth = 20;
+  cfg.min_leaf = 8;  // node of 8 rows may not split
+  TreeModel model = TrainTreeOnTable(t, {0, 1}, cfg);
+  EXPECT_EQ(model.num_nodes(), 1u);
+}
+
+TEST(TrainerTest, InternalNodesCarryPredictions) {
+  DataTable t = TinyTable();
+  TreeConfig cfg;
+  cfg.max_depth = 6;
+  TreeModel model = TrainTreeOnTable(t, {0, 1}, cfg);
+  for (size_t i = 0; i < model.num_nodes(); ++i) {
+    const auto& n = model.node(static_cast<int32_t>(i));
+    ASSERT_EQ(n.pmf.size(), 2u);
+    float sum = n.pmf[0] + n.pmf[1];
+    EXPECT_NEAR(sum, 1.0f, 1e-6f);
+    EXPECT_GT(n.n_rows, 0u);
+  }
+}
+
+TEST(TrainerTest, DepthCutoffPredictionUsesInternalNode) {
+  DataTable t = TinyTable();
+  TreeConfig cfg;
+  cfg.max_depth = 6;
+  TreeModel model = TrainTreeOnTable(t, {0, 1}, cfg);
+  // With max_depth 0 at prediction time, every row gets the root
+  // majority — i.e. training a deep tree and predicting shallow works
+  // (Appendix D).
+  const TreeModel::Node& root = model.node(0);
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    EXPECT_EQ(model.PredictLabel(t, i, 0), root.label);
+  }
+}
+
+TEST(TrainerTest, RegressionTreeFitsMeans) {
+  std::vector<double> x = {1, 2, 3, 10, 11, 12};
+  std::vector<double> y = {5, 5, 5, 40, 40, 40};
+  std::vector<ColumnMeta> metas = {{"x", DataType::kNumeric, 0},
+                                   {"y", DataType::kNumeric, 0}};
+  std::vector<ColumnPtr> cols = {Column::Numeric("x", x),
+                                 Column::Numeric("y", y)};
+  auto t = DataTable::Make(Schema(metas, 1, TaskKind::kRegression),
+                           std::move(cols));
+  ASSERT_TRUE(t.ok());
+  TreeConfig cfg;
+  cfg.impurity = Impurity::kVariance;
+  TreeModel model = TrainTreeOnTable(*t, {0}, cfg);
+  EXPECT_DOUBLE_EQ(model.PredictValue(*t, 0), 5.0);
+  EXPECT_DOUBLE_EQ(model.PredictValue(*t, 5), 40.0);
+}
+
+TEST(TrainerTest, BaseDepthLimitsGlobalDepth) {
+  DataTable t = TinyTable();
+  TreeConfig cfg;
+  cfg.max_depth = 3;
+  cfg.base_depth = 3;  // subtree rooted at depth 3: no more splits
+  TreeModel model = TrainTreeOnTable(t, {0, 1}, cfg);
+  EXPECT_EQ(model.num_nodes(), 1u);
+}
+
+TEST(TrainerTest, HandlesMissingValues) {
+  std::vector<double> x = {1, 2, 3, MissingNumeric(), 10, 11, 12,
+                           MissingNumeric()};
+  std::vector<int32_t> y = {0, 0, 0, 0, 1, 1, 1, 1};
+  std::vector<ColumnMeta> metas = {{"x", DataType::kNumeric, 0},
+                                   {"y", DataType::kCategorical, 2}};
+  std::vector<ColumnPtr> cols = {Column::Numeric("x", x),
+                                 Column::Categorical("y", y, 2)};
+  auto t = DataTable::Make(Schema(metas, 1, TaskKind::kClassification),
+                           std::move(cols));
+  ASSERT_TRUE(t.ok());
+  TreeConfig cfg;
+  TreeModel model = TrainTreeOnTable(*t, {0}, cfg);
+  // Non-missing rows all classified correctly.
+  for (size_t i : {0u, 1u, 2u, 4u, 5u, 6u}) {
+    EXPECT_EQ(model.PredictLabel(*t, i), t->label_at(i));
+  }
+  // Missing-value rows stop early and get a sane PMF.
+  const TreeModel::Node& stop = model.Traverse(*t, 3);
+  EXPECT_EQ(stop.pmf.size(), 2u);
+}
+
+TEST(TrainerTest, UnseenCategoryStopsAtNode) {
+  // Train on categories {0,1}; category 2 appears only at test time.
+  std::vector<int32_t> x = {0, 0, 1, 1};
+  std::vector<int32_t> y = {0, 0, 1, 1};
+  std::vector<ColumnMeta> metas = {{"x", DataType::kCategorical, 3},
+                                   {"y", DataType::kCategorical, 2}};
+  auto train = DataTable::Make(
+      Schema(metas, 1, TaskKind::kClassification),
+      {Column::Categorical("x", x, 3), Column::Categorical("y", y, 2)});
+  ASSERT_TRUE(train.ok());
+  TreeModel model = TrainTreeOnTable(*train, {0}, TreeConfig{});
+  ASSERT_FALSE(model.node(0).is_leaf());
+
+  auto test = DataTable::Make(
+      Schema(metas, 1, TaskKind::kClassification),
+      {Column::Categorical("x", {2}, 3), Column::Categorical("y", {0}, 2)});
+  ASSERT_TRUE(test.ok());
+  const TreeModel::Node& stop = model.Traverse(*test, 0);
+  EXPECT_EQ(stop.depth, 0);  // stopped at the root
+}
+
+TEST(TrainerTest, ExtraTreesDeterministicGivenSeed) {
+  DatasetProfile p;
+  p.name = "tiny";
+  p.rows = 500;
+  p.num_numeric = 5;
+  p.num_categorical = 2;
+  p.num_classes = 3;
+  DataTable t = GenerateTable(p, 11);
+  TreeConfig cfg;
+  cfg.extra_trees = true;
+  cfg.max_depth = 8;
+  Rng r1(77), r2(77);
+  TreeModel a = TrainTreeOnTable(t, t.schema().FeatureIndices(), cfg, &r1);
+  TreeModel b = TrainTreeOnTable(t, t.schema().FeatureIndices(), cfg, &r2);
+  EXPECT_TRUE(a.StructurallyEqual(b));
+  EXPECT_GT(a.num_nodes(), 1u);
+}
+
+TEST(TrainerTest, GraftSubtreePreservesPredictions) {
+  DataTable t = TinyTable();
+  TreeConfig deep;
+  deep.max_depth = 6;
+  TreeModel full = TrainTreeOnTable(t, {0, 1}, deep);
+
+  // Train the root level only, then separately train the two halves as
+  // subtrees and graft; the result must predict identically to `full`.
+  TreeConfig root_only;
+  root_only.max_depth = 1;
+  TreeModel stub = TrainTreeOnTable(t, {0, 1}, root_only);
+  ASSERT_EQ(stub.num_nodes(), 3u);
+
+  std::vector<uint32_t> left_rows, right_rows;
+  const SplitCondition& cond = stub.node(0).condition;
+  for (uint32_t i = 0; i < t.num_rows(); ++i) {
+    if (cond.TrainRoutesLeftNumeric(t.column(cond.column)->numeric_at(i))) {
+      left_rows.push_back(i);
+    } else {
+      right_rows.push_back(i);
+    }
+  }
+  TreeConfig sub;
+  sub.max_depth = 6;
+  sub.base_depth = 1;
+  TreeModel left_sub = TrainTree(t, left_rows, {0, 1}, sub);
+  TreeModel right_sub = TrainTree(t, right_rows, {0, 1}, sub);
+  // Subtree node depths are local before grafting.
+  EXPECT_EQ(left_sub.node(0).depth, 0);
+
+  stub.GraftSubtree(stub.node(0).left, left_sub);
+  stub.GraftSubtree(stub.node(0).right, right_sub);
+
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    EXPECT_EQ(stub.PredictLabel(t, i), full.PredictLabel(t, i));
+  }
+}
+
+TEST(ModelTest, SerializationRoundTrip) {
+  DataTable t = TinyTable();
+  TreeConfig cfg;
+  cfg.max_depth = 6;
+  TreeModel model = TrainTreeOnTable(t, {0, 1}, cfg);
+
+  BinaryWriter w;
+  model.Serialize(&w);
+  BinaryReader r(w.buffer());
+  TreeModel back;
+  ASSERT_TRUE(TreeModel::Deserialize(&r, &back).ok());
+  EXPECT_TRUE(model.StructurallyEqual(back));
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    EXPECT_EQ(model.PredictLabel(t, i), back.PredictLabel(t, i));
+  }
+}
+
+TEST(ModelTest, CorruptDeserializeFails) {
+  std::string garbage = "not a tree";
+  BinaryReader r(garbage);
+  TreeModel m;
+  EXPECT_FALSE(TreeModel::Deserialize(&r, &m).ok());
+}
+
+TEST(ModelTest, MaxDepthAndLeafCount) {
+  DataTable t = TinyTable();
+  TreeConfig cfg;
+  cfg.max_depth = 6;
+  TreeModel model = TrainTreeOnTable(t, {0, 1}, cfg);
+  EXPECT_GE(model.MaxDepth(), 1);
+  EXPECT_GE(model.NumLeaves(), 2u);
+  // Internal nodes + leaves = total.
+  EXPECT_EQ(model.NumLeaves() * 2 - 1, model.num_nodes());  // binary tree
+}
+
+// Property sweep: on generated datasets of several shapes, a trained
+// tree must (a) beat majority-class accuracy on training data, and
+// (b) never exceed the configured depth.
+class TrainerPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(TrainerPropertyTest, DepthBoundAndLearning) {
+  auto [classes, depth, cat_cols] = GetParam();
+  DatasetProfile p;
+  p.rows = 1500;
+  p.num_numeric = 4;
+  p.num_categorical = cat_cols;
+  p.num_classes = classes;
+  p.noise = 0.05;
+  p.concept_depth = 5;
+  DataTable t = GenerateTable(p, 1234 + classes * 7 + depth);
+
+  TreeConfig cfg;
+  cfg.max_depth = depth;
+  cfg.impurity = Impurity::kGini;
+  TreeModel model = TrainTreeOnTable(t, t.schema().FeatureIndices(), cfg);
+  EXPECT_LE(model.MaxDepth(), depth);
+
+  // Majority baseline.
+  ClassStats stats(classes);
+  for (size_t i = 0; i < t.num_rows(); ++i) stats.Add(t.label_at(i));
+  double majority =
+      static_cast<double>(stats.counts[stats.Majority()]) / t.num_rows();
+  size_t correct = 0;
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    if (model.PredictLabel(t, i) == t.label_at(i)) ++correct;
+  }
+  double acc = static_cast<double>(correct) / t.num_rows();
+  EXPECT_GT(acc, majority);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TrainerPropertyTest,
+                         ::testing::Combine(::testing::Values(2, 5),
+                                            ::testing::Values(4, 8, 12),
+                                            ::testing::Values(0, 3)));
+
+}  // namespace
+}  // namespace treeserver
