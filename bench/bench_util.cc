@@ -1,10 +1,38 @@
 #include "bench_util.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
+
+#include "common/metrics_registry.h"
+#include "common/trace.h"
 
 namespace treeserver {
 namespace bench {
+
+namespace {
+
+// atexit handlers cannot take arguments, so the flag values live here.
+std::string* trace_out_path = nullptr;
+bool metrics_dump_requested = false;
+
+void DumpObservabilityAtExit() {
+  if (trace_out_path != nullptr) {
+    Status st = Tracer::Global().WriteChromeTrace(*trace_out_path);
+    if (st.ok()) {
+      std::fprintf(stderr, "[bench] wrote %zu trace events to %s\n",
+                   Tracer::Global().event_count(), trace_out_path->c_str());
+    } else {
+      std::fprintf(stderr, "[bench] trace write failed: %s\n",
+                   st.ToString().c_str());
+    }
+  }
+  if (metrics_dump_requested) {
+    std::fprintf(stderr, "%s", MetricsRegistry::Global().DumpText().c_str());
+  }
+}
+
+}  // namespace
 
 BenchOptions BenchOptions::Parse(int argc, char** argv) {
   BenchOptions options;
@@ -20,6 +48,24 @@ BenchOptions BenchOptions::Parse(int argc, char** argv) {
       options.workers = std::atoi(arg + 10);
     } else if (std::strncmp(arg, "--compers=", 10) == 0) {
       options.compers = std::atoi(arg + 10);
+    } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+      options.trace_out = arg + 12;
+    } else if (std::strncmp(arg, "--stats-period=", 15) == 0) {
+      options.stats_period_ms = std::atoi(arg + 15);
+    } else if (std::strcmp(arg, "--stats") == 0) {
+      options.dump_metrics = true;
+    }
+  }
+  if (!options.trace_out.empty() || options.dump_metrics) {
+    static bool registered = false;
+    if (!options.trace_out.empty()) {
+      Tracer::Global().Enable();
+      trace_out_path = new std::string(options.trace_out);
+    }
+    metrics_dump_requested |= options.dump_metrics;
+    if (!registered) {
+      registered = true;
+      std::atexit(DumpObservabilityAtExit);
     }
   }
   return options;
@@ -62,6 +108,7 @@ EngineConfig DefaultEngine(const BenchOptions& options) {
   cfg.tau_d = ScaledTauD(options);
   cfg.tau_dfs = ScaledTauDfs(options);
   cfg.npool = 200;
+  cfg.stats_period_ms = options.stats_period_ms;
   return cfg;
 }
 

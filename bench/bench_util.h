@@ -21,12 +21,22 @@ namespace bench {
 ///   --quick       even smaller/fewer configurations
 ///   --workers=N   simulated worker machines (default 4)
 ///   --compers=N   computing threads per worker (default 2)
+///
+/// Observability knobs:
+///
+///   --trace-out=F      enable the span tracer and write a Chrome
+///                      trace-event JSON file (open in Perfetto) at exit
+///   --stats-period=MS  run the periodic engine stats reporter
+///   --stats            dump the process metrics registry at exit
 struct BenchOptions {
   double scale = 0.0005;
   size_t min_rows = 3000;
   bool quick = false;
   int workers = 4;
   int compers = 2;
+  std::string trace_out;
+  int stats_period_ms = 0;
+  bool dump_metrics = false;
 
   static BenchOptions Parse(int argc, char** argv);
 };

@@ -1,23 +1,35 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <mutex>
 #include <string>
+
+#include "common/trace.h"
 
 namespace treeserver {
 
 namespace {
 
 int InitialLogLevel() {
-  // TS_LOG_LEVEL=debug|info|warn|error overrides the default (warn).
+  // TS_LOG_LEVEL=debug|info|warn|error|fatal (case-insensitive)
+  // overrides the default (warn).
   const char* env = std::getenv("TS_LOG_LEVEL");
   if (env == nullptr) return static_cast<int>(LogLevel::kWarn);
   std::string v(env);
+  for (char& c : v) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
   if (v == "debug") return static_cast<int>(LogLevel::kDebug);
   if (v == "info") return static_cast<int>(LogLevel::kInfo);
+  if (v == "warn" || v == "warning") return static_cast<int>(LogLevel::kWarn);
   if (v == "error") return static_cast<int>(LogLevel::kError);
+  if (v == "fatal") return static_cast<int>(LogLevel::kFatal);
+  std::fprintf(stderr,
+               "[WARN logging.cc] unknown TS_LOG_LEVEL \"%s\"; using warn\n",
+               env);
   return static_cast<int>(LogLevel::kWarn);
 }
 
@@ -63,7 +75,21 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
   for (const char* p = file; *p != '\0'; ++p) {
     if (*p == '/') base = p + 1;
   }
-  stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+  // Wall-clock timestamp plus the tracer's compact thread id, so log
+  // lines correlate with trace spans from the same thread.
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                          now.time_since_epoch())
+                          .count() %
+                      1000000;
+  std::tm tm_buf;
+  localtime_r(&secs, &tm_buf);
+  char ts[32];
+  std::snprintf(ts, sizeof(ts), "%02d:%02d:%02d.%06d", tm_buf.tm_hour,
+                tm_buf.tm_min, tm_buf.tm_sec, static_cast<int>(micros));
+  stream_ << "[" << ts << " " << LevelName(level) << " t" << CurrentThreadId()
+          << " " << base << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {

@@ -1,0 +1,200 @@
+#include "common/metrics_registry.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace treeserver {
+
+uint64_t Histogram::Snapshot::Percentile(double p) const {
+  if (count == 0) return 0;
+  p = std::min(std::max(p, 0.0), 1.0);
+  uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(count - 1));
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets[i];
+    if (seen > rank) {
+      // The true value lies in this bucket; report its upper bound,
+      // clamped by the observed maximum.
+      return std::min(BucketUpperBound(i), max);
+    }
+  }
+  return max;
+}
+
+void Histogram::Snapshot::Merge(const Snapshot& other) {
+  count += other.count;
+  sum += other.sum;
+  max = std::max(max, other.max);
+  for (int i = 0; i < kNumBuckets; ++i) buckets[i] += other.buckets[i];
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.count = Count();
+  s.sum = Sum();
+  s.max = Max();
+  for (int i = 0; i < kNumBuckets; ++i) s.buckets[i] = bucket_count(i);
+  return s;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry;  // leaked
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+PeakGauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<PeakGauge>();
+  return slot.get();
+}
+
+BusyClock* MetricsRegistry::GetClock(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = clocks_[name];
+  if (slot == nullptr) slot = std::make_unique<BusyClock>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {
+  std::vector<MetricSnapshot> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.reserve(counters_.size() + gauges_.size() + clocks_.size() +
+              histograms_.size());
+  for (const auto& [name, c] : counters_) {
+    MetricSnapshot m;
+    m.name = name;
+    m.kind = MetricSnapshot::Kind::kCounter;
+    m.count = c->value();
+    out.push_back(std::move(m));
+  }
+  for (const auto& [name, g] : gauges_) {
+    MetricSnapshot m;
+    m.name = name;
+    m.kind = MetricSnapshot::Kind::kGauge;
+    m.value = g->value();
+    m.peak = g->peak();
+    out.push_back(std::move(m));
+  }
+  for (const auto& [name, c] : clocks_) {
+    MetricSnapshot m;
+    m.name = name;
+    m.kind = MetricSnapshot::Kind::kClock;
+    m.seconds = c->Seconds();
+    out.push_back(std::move(m));
+  }
+  for (const auto& [name, h] : histograms_) {
+    MetricSnapshot m;
+    m.name = name;
+    m.kind = MetricSnapshot::Kind::kHistogram;
+    m.histogram = h->snapshot();
+    m.count = m.histogram.count;
+    out.push_back(std::move(m));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+std::string MetricsRegistry::DumpText() const {
+  std::string out;
+  char buf[256];
+  for (const MetricSnapshot& m : Snapshot()) {
+    switch (m.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        std::snprintf(buf, sizeof(buf), "%-40s counter %llu\n",
+                      m.name.c_str(),
+                      static_cast<unsigned long long>(m.count));
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        std::snprintf(buf, sizeof(buf), "%-40s gauge   %lld (peak %lld)\n",
+                      m.name.c_str(), static_cast<long long>(m.value),
+                      static_cast<long long>(m.peak));
+        break;
+      case MetricSnapshot::Kind::kClock:
+        std::snprintf(buf, sizeof(buf), "%-40s clock   %.6fs\n",
+                      m.name.c_str(), m.seconds);
+        break;
+      case MetricSnapshot::Kind::kHistogram:
+        std::snprintf(
+            buf, sizeof(buf),
+            "%-40s histo   n=%llu mean=%.1f p50=%llu p99=%llu max=%llu\n",
+            m.name.c_str(), static_cast<unsigned long long>(m.histogram.count),
+            m.histogram.Mean(),
+            static_cast<unsigned long long>(m.histogram.Percentile(0.50)),
+            static_cast<unsigned long long>(m.histogram.Percentile(0.99)),
+            static_cast<unsigned long long>(m.histogram.max));
+        break;
+    }
+    out += buf;
+  }
+  return out;
+}
+
+std::string MetricsRegistry::DumpJson() const {
+  std::string out = "{";
+  char buf[256];
+  bool first = true;
+  for (const MetricSnapshot& m : Snapshot()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + m.name + "\":";
+    switch (m.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        std::snprintf(buf, sizeof(buf), "{\"type\":\"counter\",\"value\":%llu}",
+                      static_cast<unsigned long long>(m.count));
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        std::snprintf(buf, sizeof(buf),
+                      "{\"type\":\"gauge\",\"value\":%lld,\"peak\":%lld}",
+                      static_cast<long long>(m.value),
+                      static_cast<long long>(m.peak));
+        break;
+      case MetricSnapshot::Kind::kClock:
+        std::snprintf(buf, sizeof(buf),
+                      "{\"type\":\"clock\",\"seconds\":%.6f}", m.seconds);
+        break;
+      case MetricSnapshot::Kind::kHistogram:
+        std::snprintf(
+            buf, sizeof(buf),
+            "{\"type\":\"histogram\",\"count\":%llu,\"sum\":%llu,"
+            "\"mean\":%.3f,\"p50\":%llu,\"p99\":%llu,\"max\":%llu}",
+            static_cast<unsigned long long>(m.histogram.count),
+            static_cast<unsigned long long>(m.histogram.sum),
+            m.histogram.Mean(),
+            static_cast<unsigned long long>(m.histogram.Percentile(0.50)),
+            static_cast<unsigned long long>(m.histogram.Percentile(0.99)),
+            static_cast<unsigned long long>(m.histogram.max));
+        break;
+    }
+    out += buf;
+  }
+  out += "}";
+  return out;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, c] : clocks_) c->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace treeserver

@@ -1,0 +1,229 @@
+#include "common/trace.h"
+
+#include <chrono>
+#include <cstdio>
+
+namespace treeserver {
+
+namespace {
+
+std::atomic<int> g_next_thread_id{0};
+
+uint64_t SteadyNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void AppendEscaped(std::string* out, const char* s) {
+  for (const char* p = s; *p != '\0'; ++p) {
+    if (*p == '"' || *p == '\\') out->push_back('\\');
+    out->push_back(*p);
+  }
+}
+
+}  // namespace
+
+int CurrentThreadId() {
+  thread_local int id = g_next_thread_id.fetch_add(1);
+  return id;
+}
+
+const char* TraceCategoryName(TraceCat cat) {
+  switch (cat) {
+    case TraceCat::kPlanInsert:
+      return "plan-insert";
+    case TraceCat::kWorkerAssign:
+      return "worker-assign";
+    case TraceCat::kColumnTask:
+      return "column-task";
+    case TraceCat::kSubtreeTask:
+      return "subtree-task";
+    case TraceCat::kIndexServe:
+      return "index-serve";
+    case TraceCat::kNetSend:
+      return "net-send";
+    case TraceCat::kTreeComplete:
+      return "tree-complete";
+    case TraceCat::kSplitEval:
+      return "split-eval";
+  }
+  return "?";
+}
+
+Tracer::Tracer() : epoch_ns_(SteadyNowNs()) {}
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer;  // leaked: alive for worker threads
+  return *tracer;
+}
+
+uint64_t Tracer::NowNs() const { return SteadyNowNs() - epoch_ns_; }
+
+Tracer::ThreadBuffer* Tracer::LocalBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [this] {
+    auto b = std::make_shared<ThreadBuffer>();
+    b->tid = CurrentThreadId();
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers_.push_back(b);
+    return b;
+  }();
+  return buffer.get();
+}
+
+void Tracer::Append(TraceEvent event) {
+  ThreadBuffer* buffer = LocalBuffer();
+  event.tid = buffer->tid;
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  buffer->events.push_back(event);
+}
+
+void Tracer::RecordComplete(TraceCat cat, const char* name, uint64_t start_ns,
+                            uint64_t id, const char* arg_name, int64_t arg) {
+  TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.phase = 'X';
+  e.ts_ns = start_ns;
+  e.dur_ns = NowNs() - start_ns;
+  e.id = id;
+  e.arg_name = arg_name;
+  e.arg = arg;
+  Append(e);
+}
+
+void Tracer::RecordAsyncBegin(TraceCat cat, const char* name, uint64_t id,
+                              const char* arg_name, int64_t arg) {
+  TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.phase = 'b';
+  e.ts_ns = NowNs();
+  e.id = id;
+  e.arg_name = arg_name;
+  e.arg = arg;
+  Append(e);
+}
+
+void Tracer::RecordAsyncEnd(TraceCat cat, const char* name, uint64_t id) {
+  TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.phase = 'e';
+  e.ts_ns = NowNs();
+  e.id = id;
+  Append(e);
+}
+
+void Tracer::RecordInstant(TraceCat cat, const char* name, uint64_t id,
+                           const char* arg_name, int64_t arg) {
+  TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.phase = 'i';
+  e.ts_ns = NowNs();
+  e.id = id;
+  e.arg_name = arg_name;
+  e.arg = arg;
+  Append(e);
+}
+
+size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& b : buffers_) {
+    std::lock_guard<std::mutex> blk(b->mu);
+    n += b->events.size();
+  }
+  return n;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& b : buffers_) {
+    std::lock_guard<std::mutex> blk(b->mu);
+    b->events.clear();
+  }
+}
+
+std::string Tracer::ToChromeJson() const {
+  // Snapshot every buffer first so the export does not hold the
+  // registration lock while formatting.
+  std::vector<TraceEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& b : buffers_) {
+      std::lock_guard<std::mutex> blk(b->mu);
+      events.insert(events.end(), b->events.begin(), b->events.end());
+    }
+  }
+
+  std::string out;
+  out.reserve(events.size() * 128 + 64);
+  out += "{\"traceEvents\":[";
+  char buf[160];
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"";
+    AppendEscaped(&out, e.name);
+    out += "\",\"cat\":\"";
+    AppendEscaped(&out, TraceCategoryName(e.cat));
+    // Chrome trace timestamps are microseconds (fractional allowed).
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"ph\":\"%c\",\"pid\":1,\"tid\":%d,\"ts\":%.3f",
+                  e.phase, e.tid, static_cast<double>(e.ts_ns) / 1e3);
+    out += buf;
+    if (e.phase == 'X') {
+      std::snprintf(buf, sizeof(buf), ",\"dur\":%.3f",
+                    static_cast<double>(e.dur_ns) / 1e3);
+      out += buf;
+    }
+    if (e.phase == 'b' || e.phase == 'e') {
+      std::snprintf(buf, sizeof(buf), ",\"id\":\"0x%llx\"",
+                    static_cast<unsigned long long>(e.id));
+      out += buf;
+    }
+    if (e.phase == 'i') out += ",\"s\":\"t\"";
+    if (e.id != 0 || e.arg_name != nullptr) {
+      out += ",\"args\":{";
+      bool first_arg = true;
+      if (e.id != 0) {
+        std::snprintf(buf, sizeof(buf), "\"id\":%llu",
+                      static_cast<unsigned long long>(e.id));
+        out += buf;
+        first_arg = false;
+      }
+      if (e.arg_name != nullptr) {
+        if (!first_arg) out += ",";
+        out += "\"";
+        AppendEscaped(&out, e.arg_name);
+        std::snprintf(buf, sizeof(buf), "\":%lld",
+                      static_cast<long long>(e.arg));
+        out += buf;
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+Status Tracer::WriteChromeTrace(const std::string& path) const {
+  std::string json = ToChromeJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open trace file: " + path);
+  }
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Status::IOError("short write to trace file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace treeserver

@@ -1,0 +1,167 @@
+#ifndef TREESERVER_COMMON_TRACE_H_
+#define TREESERVER_COMMON_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace treeserver {
+
+/// Small dense id for the calling thread, assigned on first use.
+/// Shared between the tracer ("tid" of every event) and the logger
+/// (log-line prefix) so multi-threaded logs correlate with trace spans.
+int CurrentThreadId();
+
+/// Trace-event categories, one per engine phase the paper's evaluation
+/// attributes time to. String names appear as the "cat" field in the
+/// exported Chrome trace.
+enum class TraceCat : uint8_t {
+  kPlanInsert = 0,    // B_plan head/tail inserts (master)
+  kWorkerAssign = 1,  // SchedulePlan: cost-model worker assignment
+  kColumnTask = 2,    // column-task lifecycle + comper execution
+  kSubtreeTask = 3,   // subtree-task lifecycle + comper execution
+  kIndexServe = 4,    // delegate serving I_x to child tasks
+  kNetSend = 5,       // simulated interconnect sends
+  kTreeComplete = 6,  // tree flushed to its job
+  kSplitEval = 7,     // serial trainer split evaluation
+};
+
+const char* TraceCategoryName(TraceCat cat);
+
+/// One recorded event. `name` / `arg_name` must point at string
+/// literals (the tracer stores the pointers, not copies).
+struct TraceEvent {
+  const char* name = nullptr;
+  TraceCat cat = TraceCat::kPlanInsert;
+  char phase = 'X';     // 'X' complete, 'b'/'e' async pair, 'i' instant
+  int tid = 0;
+  uint64_t ts_ns = 0;   // nanoseconds since the tracer epoch
+  uint64_t dur_ns = 0;  // 'X' only
+  uint64_t id = 0;      // correlation id (task_id / tree_id); 0 = none
+  const char* arg_name = nullptr;
+  int64_t arg = 0;
+};
+
+/// Process-wide low-overhead span tracer.
+///
+/// Threads append to their own buffers (one uncontended mutex each, held
+/// only against the exporter), so recording is a clock read plus a
+/// vector push. When disabled — the default — every recording call is a
+/// single relaxed atomic load. Export produces Chrome trace-event JSON
+/// loadable in Perfetto / chrome://tracing: task lifecycles are async
+/// ('b'/'e') events keyed by task id, thread-local work is complete
+/// ('X') spans.
+class Tracer {
+ public:
+  /// The process-wide tracer (never destroyed).
+  static Tracer& Global();
+
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Nanoseconds since the tracer's epoch (steady clock).
+  uint64_t NowNs() const;
+
+  /// Thread-local span covering [start_ns, now].
+  void RecordComplete(TraceCat cat, const char* name, uint64_t start_ns,
+                      uint64_t id = 0, const char* arg_name = nullptr,
+                      int64_t arg = 0);
+  /// Async pair: cross-thread lifecycle keyed by (cat, name, id).
+  void RecordAsyncBegin(TraceCat cat, const char* name, uint64_t id,
+                        const char* arg_name = nullptr, int64_t arg = 0);
+  void RecordAsyncEnd(TraceCat cat, const char* name, uint64_t id);
+  /// Zero-duration marker.
+  void RecordInstant(TraceCat cat, const char* name, uint64_t id = 0,
+                     const char* arg_name = nullptr, int64_t arg = 0);
+
+  /// Merges every thread's buffer into Chrome trace-event JSON.
+  std::string ToChromeJson() const;
+  /// Writes ToChromeJson() to `path`.
+  Status WriteChromeTrace(const std::string& path) const;
+
+  /// Total events currently buffered (all threads).
+  size_t event_count() const;
+  /// Drops all buffered events (keeps the enabled flag).
+  void Clear();
+
+ private:
+  struct ThreadBuffer {
+    mutable std::mutex mu;
+    std::vector<TraceEvent> events;
+    int tid = 0;
+  };
+
+  Tracer();
+
+  ThreadBuffer* LocalBuffer();
+  void Append(TraceEvent event);
+
+  std::atomic<bool> enabled_{false};
+  uint64_t epoch_ns_ = 0;
+  mutable std::mutex mu_;  // guards buffers_ (registration + export)
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+};
+
+/// RAII complete-event span. Cheap no-op when tracing is disabled at
+/// construction time.
+class TraceSpan {
+ public:
+  TraceSpan(TraceCat cat, const char* name, uint64_t id = 0)
+      : active_(Tracer::Global().enabled()), cat_(cat), name_(name), id_(id) {
+    if (active_) start_ns_ = Tracer::Global().NowNs();
+  }
+  ~TraceSpan() {
+    if (active_) {
+      Tracer::Global().RecordComplete(cat_, name_, start_ns_, id_, arg_name_,
+                                      arg_);
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attaches one numeric argument (bytes, rows, ...) to the span.
+  void SetArg(const char* name, int64_t value) {
+    arg_name_ = name;
+    arg_ = value;
+  }
+
+ private:
+  const bool active_;
+  const TraceCat cat_;
+  const char* const name_;
+  const uint64_t id_;
+  uint64_t start_ns_ = 0;
+  const char* arg_name_ = nullptr;
+  int64_t arg_ = 0;
+};
+
+/// Convenience wrappers that no-op when tracing is disabled.
+inline void TraceAsyncBegin(TraceCat cat, const char* name, uint64_t id,
+                            const char* arg_name = nullptr, int64_t arg = 0) {
+  Tracer& t = Tracer::Global();
+  if (t.enabled()) t.RecordAsyncBegin(cat, name, id, arg_name, arg);
+}
+
+inline void TraceAsyncEnd(TraceCat cat, const char* name, uint64_t id) {
+  Tracer& t = Tracer::Global();
+  if (t.enabled()) t.RecordAsyncEnd(cat, name, id);
+}
+
+inline void TraceInstant(TraceCat cat, const char* name, uint64_t id = 0,
+                         const char* arg_name = nullptr, int64_t arg = 0) {
+  Tracer& t = Tracer::Global();
+  if (t.enabled()) t.RecordInstant(cat, name, id, arg_name, arg);
+}
+
+inline bool TraceEnabled() { return Tracer::Global().enabled(); }
+
+}  // namespace treeserver
+
+#endif  // TREESERVER_COMMON_TRACE_H_

@@ -88,6 +88,14 @@ class ConcurrentHashMap {
     }
   }
 
+  /// Read-only ForEach (stats snapshots).
+  void ForEach(const std::function<void(const K&, const V&)>& fn) const {
+    for (const Shard& s : shards_) {
+      std::lock_guard<std::mutex> lock(s.mu);
+      for (const auto& [k, v] : s.map) fn(k, v);
+    }
+  }
+
   /// Collects keys matching a predicate (snapshot; the map may change
   /// immediately after).
   std::vector<K> KeysWhere(const std::function<bool(const K&, const V&)>& pred)

@@ -1,6 +1,7 @@
 #include "engine/cluster.h"
 
 #include "common/logging.h"
+#include "engine/stats_reporter.h"
 
 namespace treeserver {
 
@@ -24,14 +25,27 @@ TreeServerCluster::TreeServerCluster(DataTable table, EngineConfig config)
   }
   master_->Start();
   for (auto& w : workers_) w->Start();
+  if (config_.stats_period_ms > 0) {
+    stats_reporter_ = std::make_unique<StatsReporter>(
+        [this] { return GetEngineStats(); }, config_.stats_period_ms);
+    stats_reporter_->Start();
+  }
 }
 
 TreeServerCluster::~TreeServerCluster() {
-  // Stop the master loops first (no new plans), then unblock every
+  // The reporter reads master/worker/network state, so it must die
+  // first. Then stop the master loops (no new plans) and unblock every
   // worker thread by closing the queues.
+  stats_reporter_.reset();
   master_->Stop();
   network_->CloseAll();
   for (auto& w : workers_) w->Join();
+}
+
+ForestModel TreeServerCluster::Wait(uint32_t job_id) {
+  ForestModel model = master_->Wait(job_id);
+  if (stats_reporter_ != nullptr) stats_reporter_->ReportNow("job-complete");
+  return model;
 }
 
 void TreeServerCluster::CrashWorker(int worker) {
@@ -82,6 +96,17 @@ void TreeServerCluster::ResetMetrics() {
   network_->ResetCounters();
   for (auto& clock : busy_clocks_) clock->Reset();
   task_memory_->Reset();
+}
+
+EngineStats TreeServerCluster::GetEngineStats() const {
+  EngineStats stats;
+  stats.master = master_->GetStats();
+  stats.workers.reserve(workers_.size());
+  for (const auto& w : workers_) stats.workers.push_back(w->GetStats());
+  stats.network = network_->GetStats();
+  stats.task_memory_bytes = task_memory_->value();
+  stats.task_memory_peak = task_memory_->peak();
+  return stats;
 }
 
 }  // namespace treeserver

@@ -10,6 +10,23 @@
 
 namespace treeserver {
 
+class StatsReporter;
+
+/// Full engine observability snapshot: scheduler state from the
+/// master, queue depths and busy time from every worker, per-endpoint
+/// traffic and channel histograms from the network. The master's
+/// predicted per-worker M_work load sits next to the actual bytes and
+/// busy-time so scheduling imbalance is directly visible.
+struct EngineStats {
+  MasterStats master;
+  std::vector<WorkerStats> workers;
+  NetworkStats network;
+  /// Current / peak worker task memory (I_x buffers + gathered D_x
+  /// columns), summed over workers.
+  int64_t task_memory_bytes = 0;
+  int64_t task_memory_peak = 0;
+};
+
 /// Point-in-time engine statistics for the experiment harnesses.
 struct EngineMetrics {
   /// Total bytes pushed through the simulated interconnect.
@@ -42,8 +59,9 @@ class TreeServerCluster {
   /// Enqueues a job; returns a handle for Wait().
   uint32_t Submit(const ForestJobSpec& spec) { return master_->Submit(spec); }
 
-  /// Blocks until the job completes.
-  ForestModel Wait(uint32_t job_id) { return master_->Wait(job_id); }
+  /// Blocks until the job completes. Dumps an engine stats report at
+  /// completion when the stats reporter is enabled.
+  ForestModel Wait(uint32_t job_id);
 
   /// Submit + Wait.
   ForestModel TrainForest(const ForestJobSpec& spec) {
@@ -66,6 +84,9 @@ class TreeServerCluster {
   /// Clears traffic/busy counters (between benchmark phases).
   void ResetMetrics();
 
+  /// Full observability snapshot across master, workers, and network.
+  EngineStats GetEngineStats() const;
+
   const EngineConfig& config() const { return config_; }
   Network& network() { return *network_; }
   const Master& master() const { return *master_; }
@@ -81,6 +102,7 @@ class TreeServerCluster {
   std::vector<std::unique_ptr<BusyClock>> busy_clocks_;
   std::unique_ptr<Master> master_;
   std::vector<std::unique_ptr<Worker>> workers_;
+  std::unique_ptr<StatsReporter> stats_reporter_;
 };
 
 }  // namespace treeserver

@@ -5,9 +5,21 @@
 #include <set>
 
 #include "common/logging.h"
+#include "common/trace.h"
 #include "tree/trainer.h"
 
 namespace treeserver {
+
+namespace {
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
 
 Master::Master(std::shared_ptr<const DataTable> table, Network* network,
                const EngineConfig& config)
@@ -16,7 +28,11 @@ Master::Master(std::shared_ptr<const DataTable> table, Network* network,
       config_(config),
       placement_(table_->schema(), config.num_workers, config.replication),
       load_(config.num_workers),
-      alive_(config.num_workers, true) {}
+      alive_(config.num_workers, true),
+      task_latency_us_(
+          MetricsRegistry::Global().GetHistogram("master.task_latency_us")),
+      bplan_depth_(
+          MetricsRegistry::Global().GetHistogram("master.bplan_depth")) {}
 
 Master::~Master() { Stop(); }
 
@@ -61,18 +77,39 @@ ForestModel Master::Wait(uint32_t job_id) {
   return model;
 }
 
-void Master::SendToWorker(int worker, MsgType type, std::string payload) {
+void Master::SendToWorker(int worker, MsgType type, std::string payload,
+                          uint64_t trace_id) {
   network_->Send(ChannelKind::kTask,
                  Message{kMasterRank, worker, static_cast<uint32_t>(type),
-                         std::move(payload)});
+                         std::move(payload), trace_id});
 }
 
 void Master::InsertPlan(const Plan& plan) {
   if (plan.n_rows <= config_.tau_dfs) {
+    TraceInstant(TraceCat::kPlanInsert, "plan-head", plan.tree_id, "n_rows",
+                 static_cast<int64_t>(plan.n_rows));
     bplan_.PushFront(plan);  // depth-first descent (stack behaviour)
   } else {
+    TraceInstant(TraceCat::kPlanInsert, "plan-tail", plan.tree_id, "n_rows",
+                 static_cast<int64_t>(plan.n_rows));
     bplan_.PushBack(plan);  // breadth-first expansion (queue behaviour)
   }
+  bplan_depth_->Add(bplan_.size());
+}
+
+void Master::ObserveTaskCompletion(const EntryPtr& entry) {
+  uint64_t sched_ns;
+  uint64_t task_id;
+  bool is_subtree;
+  {
+    std::lock_guard<std::mutex> lock(entry->mu);
+    sched_ns = entry->sched_ns;
+    task_id = entry->task_id;
+    is_subtree = entry->is_subtree;
+  }
+  if (sched_ns != 0) task_latency_us_->Add((NowNanos() - sched_ns) / 1000);
+  TraceAsyncEnd(is_subtree ? TraceCat::kSubtreeTask : TraceCat::kColumnTask,
+                "task", task_id);
 }
 
 bool Master::LeafByStats(const TargetStats& stats, int depth,
@@ -242,8 +279,11 @@ void Master::SchedulePlan(const Plan& plan) {
   }
 
   const uint64_t task_id = next_task_id_.fetch_add(1);
+  TraceSpan assign_span(TraceCat::kWorkerAssign, "schedule", task_id);
+  assign_span.SetArg("n_rows", static_cast<int64_t>(plan.n_rows));
   auto entry = std::make_shared<Entry>();
   entry->task_id = task_id;
+  entry->sched_ns = NowNanos();
   entry->tree_id = plan.tree_id;
   entry->node_id = plan.node_id;
   entry->depth = plan.depth;
@@ -270,6 +310,8 @@ void Master::SchedulePlan(const Plan& plan) {
     involved.insert(assign.key_worker);
     entry->workers.assign(involved.begin(), involved.end());
     TS_CHECK(ttask_.Insert(task_id, entry));
+    TraceAsyncBegin(TraceCat::kSubtreeTask, "task", task_id, "n_rows",
+                    static_cast<int64_t>(plan.n_rows));
 
     SubtreeTaskPlan msg;
     msg.task_id = task_id;
@@ -283,7 +325,8 @@ void Master::SchedulePlan(const Plan& plan) {
     msg.columns = assign.columns;
     msg.column_servers = assign.servers;
     msg.ctx = ctx;
-    SendToWorker(assign.key_worker, MsgType::kSubtreeTaskPlan, msg.Encode());
+    SendToWorker(assign.key_worker, MsgType::kSubtreeTaskPlan, msg.Encode(),
+                 task_id);
   } else {
     std::vector<int> task_columns = candidates;
     if (ctx.extra_trees != 0) {
@@ -301,6 +344,8 @@ void Master::SchedulePlan(const Plan& plan) {
       entry->workers.push_back(w);
     }
     TS_CHECK(ttask_.Insert(task_id, entry));
+    TraceAsyncBegin(TraceCat::kColumnTask, "task", task_id, "n_rows",
+                    static_cast<int64_t>(plan.n_rows));
 
     for (const auto& [w, cols] : assign.worker_columns) {
       ColumnTaskPlan msg;
@@ -314,7 +359,7 @@ void Master::SchedulePlan(const Plan& plan) {
       msg.side = plan.side;
       msg.columns = cols;
       msg.ctx = ctx;
-      SendToWorker(w, MsgType::kColumnTaskPlan, msg.Encode());
+      SendToWorker(w, MsgType::kColumnTaskPlan, msg.Encode(), task_id);
     }
   }
   tasks_scheduled_.Inc();
@@ -396,6 +441,7 @@ void Master::HandleColumnResponse(const std::string& payload) {
 }
 
 void Master::ProcessNodeCompletion(const EntryPtr& entry) {
+  ObserveTaskCompletion(entry);
   // Snapshot the entry (θ_recv is the only mutator at this point).
   uint64_t task_id;
   uint32_t tree_id;
@@ -575,6 +621,7 @@ void Master::HandleSubtreeResult(const std::string& payload) {
   }
 
   TS_LOG(kDebug) << "master: subtree result task " << resp.task_id;
+  ObserveTaskCompletion(entry);
   {
     std::lock_guard<std::mutex> lock(master_mu_);
     auto it = trees_.find(entry->tree_id);
@@ -612,6 +659,7 @@ void Master::TaskFinished(uint32_t tree_id) {
   job.trees[ts.tree_index] = std::move(ts.model);
   ++job.done;
   trees_completed_.Inc();
+  TraceInstant(TraceCat::kTreeComplete, "tree-complete", tree_id);
   --active_trees_;
   if (job.done == job.spec.num_trees) {
     job.completed = true;
@@ -638,6 +686,40 @@ void Master::NotifyChildDone(uint64_t parent_task) {
                  TaskIdOnly{parent_task}.Encode());
     ttask_.Erase(parent_task);
   }
+}
+
+MasterStats Master::GetStats() const {
+  MasterStats stats;
+  stats.bplan_depth = bplan_.size();
+  stats.tasks_in_flight = ttask_.size();
+  ttask_.ForEach([&](const uint64_t&, const EntryPtr& e) {
+    // Peeking at kind/completion without e->mu: both are set before the
+    // entry is published to T_task and only flip once; stats tolerate
+    // the benign race.
+    if (e->is_subtree) {
+      ++stats.subtree_tasks_in_flight;
+    } else if (!e->completed) {
+      ++stats.column_tasks_in_flight;
+    }
+  });
+  stats.npool = config_.npool;
+  stats.tasks_scheduled = tasks_scheduled_.value();
+  stats.trees_completed = trees_completed_.value();
+  stats.trees_restarted = trees_restarted_.value();
+  stats.predicted_load.resize(config_.num_workers);
+  for (int w = 0; w < config_.num_workers; ++w) {
+    std::array<double, 3> l = load_.Get(w);
+    stats.predicted_load[w] = {l[0], l[1], l[2]};
+  }
+  {
+    std::lock_guard<std::mutex> lock(master_mu_);
+    stats.active_trees = active_trees_;
+    stats.jobs_total = jobs_.size();
+    for (const auto& [id, job] : jobs_) {
+      if (job.completed) ++stats.jobs_completed;
+    }
+  }
+  return stats;
 }
 
 // ---------------------------------------------------------------------

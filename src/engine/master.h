@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/metrics_registry.h"
 #include "concurrent/concurrent_hash_map.h"
 #include "concurrent/plan_deque.h"
 #include "engine/cost_model.h"
@@ -39,7 +40,37 @@ struct EngineConfig {
   /// categorical values) — the compression extension the paper defers
   /// to future work. Off by default to match the paper's system.
   bool compress_transfers = false;
+  /// Period of the engine stats reporter thread in milliseconds; 0
+  /// (the default) disables the reporter. When enabled, an EngineStats
+  /// snapshot is dumped to stderr every period and at job completion.
+  int stats_period_ms = 0;
   uint64_t seed = 42;
+};
+
+/// Point-in-time master-side statistics (part of EngineStats).
+struct MasterStats {
+  /// Plans queued in B_plan, waiting for worker assignment.
+  size_t bplan_depth = 0;
+  /// T_task entries, including completed delegates still serving I_x.
+  size_t tasks_in_flight = 0;
+  uint64_t column_tasks_in_flight = 0;
+  uint64_t subtree_tasks_in_flight = 0;
+  /// Tree-pool occupancy (trees under construction) vs its bound.
+  int active_trees = 0;
+  int npool = 0;
+  size_t jobs_total = 0;
+  size_t jobs_completed = 0;
+  uint64_t tasks_scheduled = 0;
+  uint64_t trees_completed = 0;
+  uint64_t trees_restarted = 0;
+  /// Predicted per-worker load units from M_work (Section VI), to be
+  /// compared against the actual per-worker bytes / busy-time.
+  struct WorkerLoad {
+    double comp = 0.0;
+    double send = 0.0;
+    double recv = 0.0;
+  };
+  std::vector<WorkerLoad> predicted_load;
 };
 
 /// The TreeServer master (Fig. 5 / Fig. 14(a)).
@@ -94,6 +125,11 @@ class Master {
   const LoadMatrix& load_matrix() const { return load_; }
   const ColumnPlacement& placement() const { return placement_; }
 
+  /// Snapshot of scheduler state (B_plan depth, tasks in flight by
+  /// kind, tree-pool occupancy, predicted M_work load). Thread-safe;
+  /// values are individually coherent, not a linearizable cut.
+  MasterStats GetStats() const;
+
  private:
   /// A node-task not yet assigned to workers.
   struct Plan {
@@ -121,6 +157,7 @@ class Master {
     uint64_t parent_task = 0;
     uint8_t side = 0;
     int et_retries = 0;
+    uint64_t sched_ns = 0;  // steady clock at SchedulePlan, for latency
     std::vector<int> workers;
     int key_worker = -1;
     int pending = 0;
@@ -175,8 +212,12 @@ class Master {
   void TaskFinished(uint32_t tree_id);
   /// Requires master_mu_ NOT held.
   void NotifyChildDone(uint64_t parent_task);
-  void SendToWorker(int worker, MsgType type, std::string payload);
+  void SendToWorker(int worker, MsgType type, std::string payload,
+                    uint64_t trace_id = 0);
   void InsertPlan(const Plan& plan);  // B_plan head/tail by τ_dfs
+  /// Records a completed task's schedule→completion latency and emits
+  /// the trace async-end of its lifecycle.
+  void ObserveTaskCompletion(const EntryPtr& entry);
 
   bool LeafByStats(const TargetStats& stats, int depth,
                    const TaskContext& ctx) const;
@@ -206,6 +247,10 @@ class Master {
   Counter tasks_scheduled_;
   Counter trees_completed_;
   Counter trees_restarted_;
+
+  // Shared-registry histograms (process-wide, survive the master).
+  Histogram* const task_latency_us_;   // schedule -> completion
+  Histogram* const bplan_depth_;       // sampled at every insert
 
   std::atomic<bool> stop_{false};
   std::atomic<bool> stopped_{false};  // Stop() runs once

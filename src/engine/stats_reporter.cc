@@ -1,0 +1,119 @@
+#include "engine/stats_reporter.h"
+
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+
+namespace treeserver {
+
+namespace {
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  *out += buf;
+}
+
+void AppendHistogramLine(std::string* out, const char* name,
+                         const Histogram::Snapshot& h) {
+  AppendF(out, "  %-22s n=%llu mean=%.1f p50=%llu p99=%llu max=%llu\n", name,
+          static_cast<unsigned long long>(h.count), h.Mean(),
+          static_cast<unsigned long long>(h.Percentile(0.50)),
+          static_cast<unsigned long long>(h.Percentile(0.99)),
+          static_cast<unsigned long long>(h.max));
+}
+
+}  // namespace
+
+std::string FormatEngineStats(const EngineStats& stats) {
+  std::string out;
+  const MasterStats& m = stats.master;
+  AppendF(&out,
+          "[engine-stats] bplan=%zu tasks_in_flight=%zu (column=%llu "
+          "subtree=%llu) pool=%d/%d jobs=%zu/%zu scheduled=%llu "
+          "trees done=%llu restarted=%llu\n",
+          m.bplan_depth, m.tasks_in_flight,
+          static_cast<unsigned long long>(m.column_tasks_in_flight),
+          static_cast<unsigned long long>(m.subtree_tasks_in_flight),
+          m.active_trees, m.npool, m.jobs_completed, m.jobs_total,
+          static_cast<unsigned long long>(m.tasks_scheduled),
+          static_cast<unsigned long long>(m.trees_completed),
+          static_cast<unsigned long long>(m.trees_restarted));
+  AppendF(&out,
+          "  task memory: %lld bytes (peak %lld)\n"
+          "  %-6s %10s %10s %10s | %12s %12s %10s %9s %7s\n",
+          static_cast<long long>(stats.task_memory_bytes),
+          static_cast<long long>(stats.task_memory_peak), "worker",
+          "pred.comp", "pred.send", "pred.recv", "sent(B)", "recv(B)",
+          "busy(s)", "computed", "parked");
+  for (size_t w = 0; w < stats.workers.size(); ++w) {
+    const WorkerStats& ws = stats.workers[w];
+    MasterStats::WorkerLoad load;
+    if (w < m.predicted_load.size()) load = m.predicted_load[w];
+    NetworkStats::Endpoint ep;
+    if (w < stats.network.endpoints.size()) ep = stats.network.endpoints[w];
+    AppendF(&out,
+            "  w%-5zu %10.0f %10.0f %10.0f | %12llu %12llu %10.3f %9llu "
+            "%7zu\n",
+            w, load.comp, load.send, load.recv,
+            static_cast<unsigned long long>(ep.bytes_sent),
+            static_cast<unsigned long long>(ep.bytes_recv), ws.busy_seconds,
+            static_cast<unsigned long long>(ws.tasks_computed),
+            ws.tasks_parked);
+  }
+  if (!stats.network.endpoints.empty()) {
+    const NetworkStats::Endpoint& master_ep = stats.network.endpoints.back();
+    AppendF(&out, "  master sent=%lluB recv=%lluB msgs=%llu\n",
+            static_cast<unsigned long long>(master_ep.bytes_sent),
+            static_cast<unsigned long long>(master_ep.bytes_recv),
+            static_cast<unsigned long long>(master_ep.msgs_sent));
+  }
+  AppendHistogramLine(&out, "task payload bytes", stats.network.task_payload_bytes);
+  AppendHistogramLine(&out, "data payload bytes", stats.network.data_payload_bytes);
+  AppendHistogramLine(&out, "task send micros", stats.network.task_send_micros);
+  AppendHistogramLine(&out, "data send micros", stats.network.data_send_micros);
+  return out;
+}
+
+StatsReporter::StatsReporter(Source source, int period_ms)
+    : source_(std::move(source)), period_ms_(period_ms) {}
+
+StatsReporter::~StatsReporter() { Stop(); }
+
+void StatsReporter::Start() {
+  thread_ = std::thread(&StatsReporter::Loop, this);
+}
+
+void StatsReporter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void StatsReporter::ReportNow(const char* reason) {
+  std::string report = FormatEngineStats(source_());
+  std::fprintf(stderr, "[stats-reporter %s]\n%s", reason, report.c_str());
+  std::fflush(stderr);
+}
+
+void StatsReporter::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    if (cv_.wait_for(lock, std::chrono::milliseconds(period_ms_),
+                     [&] { return stop_; })) {
+      break;
+    }
+    lock.unlock();
+    ReportNow("periodic");
+    lock.lock();
+  }
+}
+
+}  // namespace treeserver

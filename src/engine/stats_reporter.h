@@ -1,0 +1,54 @@
+#ifndef TREESERVER_ENGINE_STATS_REPORTER_H_
+#define TREESERVER_ENGINE_STATS_REPORTER_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "engine/cluster.h"
+
+namespace treeserver {
+
+/// Renders an EngineStats snapshot as a multi-line human-readable
+/// report (per-worker predicted M_work load vs actual bytes/busy-time,
+/// B_plan depth, tasks in flight, channel histograms).
+std::string FormatEngineStats(const EngineStats& stats);
+
+/// Periodic engine stats reporter (off by default; enabled via
+/// EngineConfig::stats_period_ms). Wakes every period, pulls a snapshot
+/// from its source, and writes the formatted report to stderr. The
+/// cluster also triggers ReportNow() when a job completes.
+class StatsReporter {
+ public:
+  using Source = std::function<EngineStats()>;
+
+  /// Does not start the thread; call Start().
+  StatsReporter(Source source, int period_ms);
+  ~StatsReporter();
+
+  StatsReporter(const StatsReporter&) = delete;
+  StatsReporter& operator=(const StatsReporter&) = delete;
+
+  void Start();
+  /// Idempotent; joins the reporter thread.
+  void Stop();
+
+  /// Dumps one report immediately (any thread).
+  void ReportNow(const char* reason);
+
+ private:
+  void Loop();
+
+  const Source source_;
+  const int period_ms_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace treeserver
+
+#endif  // TREESERVER_ENGINE_STATS_REPORTER_H_

@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/trace.h"
 #include "tree/trainer.h"
 
 namespace treeserver {
@@ -56,6 +57,16 @@ Worker::TaskPtr Worker::Find(uint64_t task_id) {
   return out;
 }
 
+WorkerStats Worker::GetStats() const {
+  WorkerStats stats;
+  stats.worker = id_;
+  stats.tasks_parked = tasks_.size();
+  stats.btask_depth = btask_.size();
+  stats.tasks_computed = computed_.value();
+  if (busy_clock_ != nullptr) stats.busy_seconds = busy_clock_->Seconds();
+  return stats;
+}
+
 std::shared_ptr<std::vector<uint32_t>> Worker::IotaRows(uint64_t n) const {
   auto rows = std::make_shared<std::vector<uint32_t>>(n);
   std::iota(rows->begin(), rows->end(), 0u);
@@ -72,7 +83,7 @@ void Worker::RequestIx(uint64_t parent_task, int parent_worker, uint8_t side,
   network_->Send(ChannelKind::kData,
                  Message{id_, parent_worker,
                          static_cast<uint32_t>(MsgType::kIxRequest),
-                         req.Encode()});
+                         req.Encode(), requester_task});
 }
 
 // ---------------------------------------------------------------------
@@ -173,7 +184,7 @@ void Worker::HandleSubtreeTaskPlan(const std::string& payload) {
     network_->Send(ChannelKind::kData,
                    Message{id_, server,
                            static_cast<uint32_t>(MsgType::kColumnDataRequest),
-                           req.Encode()});
+                           req.Encode(), plan.task_id});
   }
 
   if (plan.parent_worker < 0) {
@@ -288,6 +299,7 @@ void Worker::DataLoop() {
 }
 
 void Worker::ServeIx(const TaskPtr& task, const IxRequest& req) {
+  TraceSpan span(TraceCat::kIndexServe, "serve-ix", req.requester_task);
   IxResponse resp;
   resp.requester_task = req.requester_task;
   resp.compress = compress_transfers_;
@@ -297,10 +309,11 @@ void Worker::ServeIx(const TaskPtr& task, const IxRequest& req) {
     const auto& rows = req.side == 0 ? task->ix_left : task->ix_right;
     resp.rows = *rows;
   }
+  span.SetArg("rows", static_cast<int64_t>(resp.rows.size()));
   network_->Send(ChannelKind::kData,
                  Message{id_, req.requester_worker,
                          static_cast<uint32_t>(MsgType::kIxResponse),
-                         resp.Encode()});
+                         resp.Encode(), req.requester_task});
 }
 
 void Worker::HandleIxRequest(const std::string& payload) {
@@ -397,7 +410,7 @@ void Worker::ServeColumns(const TaskPtr& task) {
   network_->Send(ChannelKind::kData,
                  Message{id_, key_worker,
                          static_cast<uint32_t>(MsgType::kColumnDataResponse),
-                         resp.Encode()});
+                         resp.Encode(), task_id});
   tasks_.Erase(task_id);
 }
 
@@ -454,8 +467,12 @@ void Worker::ComperLoop() {
   while (auto ready = btask_.Pop()) {
     TaskPtr task = Find(ready->task_id);
     if (task == nullptr) continue;  // revoked while queued
+    const bool is_column = ready->kind == TaskKindTag::kColumn;
+    TraceSpan span(
+        is_column ? TraceCat::kColumnTask : TraceCat::kSubtreeTask,
+        is_column ? "compute-column" : "compute-subtree", ready->task_id);
     uint64_t start = NowNanos();
-    if (ready->kind == TaskKindTag::kColumn) {
+    if (is_column) {
       ComputeColumnTask(task);
     } else {
       ComputeSubtreeTask(task);
@@ -503,7 +520,7 @@ void Worker::ComputeColumnTask(const TaskPtr& task) {
       ChannelKind::kTask,
       Message{id_, kMasterRank,
               static_cast<uint32_t>(MsgType::kColumnTaskResponse),
-              resp.Encode()});
+              resp.Encode(), plan.task_id});
   TS_LOG(kDebug) << "w" << id_ << ": responded task " << plan.task_id
                  << " sent=" << sent;
   // The task object stays in T_task awaiting the master's verdict.
@@ -553,7 +570,7 @@ void Worker::ComputeSubtreeTask(const TaskPtr& task) {
   network_->Send(ChannelKind::kTask,
                  Message{id_, kMasterRank,
                          static_cast<uint32_t>(MsgType::kSubtreeResult),
-                         result.Encode()});
+                         result.Encode(), plan.task_id});
   tasks_.Erase(plan.task_id);
 }
 

@@ -16,6 +16,19 @@
 
 namespace treeserver {
 
+/// Point-in-time worker-side statistics (part of EngineStats).
+struct WorkerStats {
+  int worker = -1;
+  /// Task objects parked in the worker's T_task (waiting for data,
+  /// executing, or serving I_x as a delegate).
+  size_t tasks_parked = 0;
+  /// Ready tasks queued in B_task, waiting for a free comper.
+  size_t btask_depth = 0;
+  uint64_t tasks_computed = 0;
+  /// Aggregate comper busy time so far, in seconds.
+  double busy_seconds = 0.0;
+};
+
 /// A TreeServer worker machine (Fig. 7 / Fig. 14(b)).
 ///
 /// Runs three kinds of threads:
@@ -47,6 +60,9 @@ class Worker {
   /// Number of task objects currently parked (for tests/diagnostics).
   size_t num_pending_tasks() const { return tasks_.size(); }
   uint64_t tasks_computed() const { return computed_.value(); }
+
+  /// Snapshot of queue depths and work counters. Thread-safe.
+  WorkerStats GetStats() const;
 
  private:
   enum class TaskKindTag : uint8_t { kColumn, kSubtree, kServe };

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "common/trace.h"
 
 namespace treeserver {
 
@@ -15,6 +16,13 @@ double NowSeconds() {
       .count();
 }
 
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 }  // namespace
 
 Network::Network(int num_workers, double bandwidth_mbps)
@@ -22,6 +30,7 @@ Network::Network(int num_workers, double bandwidth_mbps)
       bytes_per_second_(bandwidth_mbps * 1e6 / 8.0),
       sent_(num_workers + 1),
       recv_(num_workers + 1),
+      msgs_(num_workers + 1),
       crashed_(num_workers + 1) {
   TS_CHECK(num_workers > 0);
   for (int i = 0; i < num_workers; ++i) {
@@ -44,9 +53,16 @@ bool Network::Send(ChannelKind channel, Message msg) {
   const bool local = src == dst;
   if (!local) {
     uint64_t bytes = msg.payload.size() + kHeaderBytes;
+    TraceSpan span(TraceCat::kNetSend, "send", msg.trace_id);
+    span.SetArg("bytes", static_cast<int64_t>(bytes));
     sent_[Index(src)].Add(bytes);
     recv_[Index(dst)].Add(bytes);
+    msgs_[Index(src)].Inc();
+    const int ch = static_cast<int>(channel);
+    payload_bytes_[ch].Add(bytes);
+    uint64_t start_ns = NowNanos();
     if (bytes_per_second_ > 0) Throttle(src, bytes);
+    send_micros_[ch].Add((NowNanos() - start_ns) / 1000);
   }
 
   if (dst == kMasterRank) return master_queue_->Push(std::move(msg));
@@ -98,6 +114,28 @@ uint64_t Network::total_bytes() const {
 void Network::ResetCounters() {
   for (Counter& c : sent_) c.Reset();
   for (Counter& c : recv_) c.Reset();
+  for (Counter& c : msgs_) c.Reset();
+  for (Histogram& h : payload_bytes_) h.Reset();
+  for (Histogram& h : send_micros_) h.Reset();
+}
+
+NetworkStats Network::GetStats() const {
+  NetworkStats stats;
+  stats.endpoints.resize(num_workers_ + 1);
+  for (int i = 0; i <= num_workers_; ++i) {
+    stats.endpoints[i].bytes_sent = sent_[i].value();
+    stats.endpoints[i].bytes_recv = recv_[i].value();
+    stats.endpoints[i].msgs_sent = msgs_[i].value();
+  }
+  stats.task_payload_bytes =
+      payload_bytes_[static_cast<int>(ChannelKind::kTask)].snapshot();
+  stats.data_payload_bytes =
+      payload_bytes_[static_cast<int>(ChannelKind::kData)].snapshot();
+  stats.task_send_micros =
+      send_micros_[static_cast<int>(ChannelKind::kTask)].snapshot();
+  stats.data_send_micros =
+      send_micros_[static_cast<int>(ChannelKind::kData)].snapshot();
+  return stats;
 }
 
 }  // namespace treeserver

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/metrics_registry.h"
 #include "concurrent/blocking_queue.h"
 
 namespace treeserver {
@@ -23,6 +24,10 @@ struct Message {
   int dst = kMasterRank;
   uint32_t type = 0;
   std::string payload;
+  /// Correlation id for tracing (the task id the message belongs to,
+  /// when the sender knows it); 0 = uncorrelated. Not serialized, not
+  /// charged to the byte counters.
+  uint64_t trace_id = 0;
 };
 
 /// The two channel classes of Fig. 6: Task Comm (master <-> workers)
@@ -30,6 +35,23 @@ struct Message {
 enum class ChannelKind : uint8_t {
   kTask = 0,
   kData = 1,
+};
+
+/// Point-in-time network statistics (part of the EngineStats snapshot).
+struct NetworkStats {
+  struct Endpoint {
+    uint64_t bytes_sent = 0;
+    uint64_t bytes_recv = 0;
+    uint64_t msgs_sent = 0;
+  };
+  /// Indexed by worker id; the last entry is the master.
+  std::vector<Endpoint> endpoints;
+  /// Per-channel payload-size (bytes) and send-latency (µs, including
+  /// simulated link throttling) distributions.
+  Histogram::Snapshot task_payload_bytes;
+  Histogram::Snapshot data_payload_bytes;
+  Histogram::Snapshot task_send_micros;
+  Histogram::Snapshot data_send_micros;
 };
 
 /// In-process stand-in for the cluster interconnect.
@@ -83,6 +105,9 @@ class Network {
   uint64_t total_bytes() const;
   void ResetCounters();
 
+  /// Snapshot of per-endpoint traffic and per-channel distributions.
+  NetworkStats GetStats() const;
+
  private:
   /// Fixed per-message overhead charged on top of the payload.
   static constexpr uint64_t kHeaderBytes = 24;
@@ -104,7 +129,12 @@ class Network {
   // One counter slot per worker plus one for the master.
   std::vector<Counter> sent_;
   std::vector<Counter> recv_;
+  std::vector<Counter> msgs_;
   std::vector<std::atomic<bool>> crashed_;
+
+  // Per-channel distributions (index = ChannelKind).
+  Histogram payload_bytes_[2];
+  Histogram send_micros_[2];
 
   // Per-endpoint token bucket: next instant the link is free.
   struct LinkState {

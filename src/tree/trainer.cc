@@ -1,8 +1,11 @@
 #include "tree/trainer.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/logging.h"
+#include "common/metrics_registry.h"
+#include "common/trace.h"
 
 namespace treeserver {
 
@@ -104,8 +107,25 @@ TreeModel TrainTree(const DataTable& table, std::vector<uint32_t> rows,
     bool leaf = stats.IsPure() || n <= config.min_leaf ||
                 global_depth >= config.max_depth;
     if (!leaf) {
-      SplitOutcome best = FindNodeSplit(table, row_ptr, n, candidate_columns,
-                                        ctx, config, rng);
+      SplitOutcome best;
+      if (TraceEnabled()) {
+        // Split-eval timing is trace-gated: when tracing is off the
+        // hot path pays one relaxed atomic load per node.
+        static Histogram* const split_eval_us =
+            MetricsRegistry::Global().GetHistogram("trainer.split_eval_us");
+        TraceSpan span(TraceCat::kSplitEval, "split-eval");
+        span.SetArg("rows", static_cast<int64_t>(n));
+        auto start = std::chrono::steady_clock::now();
+        best = FindNodeSplit(table, row_ptr, n, candidate_columns, ctx,
+                             config, rng);
+        split_eval_us->Add(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count()));
+      } else {
+        best = FindNodeSplit(table, row_ptr, n, candidate_columns, ctx,
+                             config, rng);
+      }
       if (!best.valid || best.gain <= kMinSplitGain) {
         leaf = true;
       } else {

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus a ThreadSanitizer pass over the concurrency tests.
+#
+#   tools/check.sh          # plain build + full ctest + TSan concurrency pass
+#   tools/check.sh --fast   # skip the TSan pass
+#
+# The TSan stage rebuilds into build-tsan/ with TS_SANITIZE=thread and
+# runs the concurrent-structure and engine-stress suites, which cover
+# every lock/atomic in the engine hot paths.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+FAST=0
+for arg in "$@"; do
+  case "$arg" in
+    --fast) FAST=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+echo "== tier-1: configure + build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j
+
+echo "== tier-1: ctest =="
+(cd build && ctest --output-on-failure -j"$(nproc)")
+
+if [[ "$FAST" == "1" ]]; then
+  echo "== skipping TSan pass (--fast) =="
+  exit 0
+fi
+
+echo "== tsan: configure + build =="
+cmake -B build-tsan -S . -DTS_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j
+
+echo "== tsan: concurrent_test + engine_stress_test =="
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/treeserver_tests \
+  --gtest_filter='BlockingQueue*:ConcurrentHashMap*:PlanDeque*:EngineStress*'
+
+echo "== all checks passed =="
