@@ -48,6 +48,8 @@ const char* TraceCategoryName(TraceCat cat) {
       return "tree-complete";
     case TraceCat::kSplitEval:
       return "split-eval";
+    case TraceCat::kServe:
+      return "serve";
   }
   return "?";
 }

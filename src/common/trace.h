@@ -29,6 +29,7 @@ enum class TraceCat : uint8_t {
   kNetSend = 5,       // simulated interconnect sends
   kTreeComplete = 6,  // tree flushed to its job
   kSplitEval = 7,     // serial trainer split evaluation
+  kServe = 8,         // inference server batches / admission
 };
 
 const char* TraceCategoryName(TraceCat cat);

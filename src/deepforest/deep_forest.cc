@@ -16,8 +16,8 @@ int PositionsPerAxis(int extent, int window, int stride) {
   return (extent - window) / stride + 1;
 }
 
-/// Builds a numeric-feature classification table from per-image
-/// feature vectors.
+}  // namespace
+
 DataTable BuildFeatureTable(const std::vector<std::vector<float>>& features,
                             const std::vector<int32_t>& labels,
                             int num_classes) {
@@ -45,8 +45,7 @@ DataTable BuildFeatureTable(const std::vector<std::vector<float>>& features,
   return std::move(table).value();
 }
 
-/// Concatenates per-image blocks: out[i] = a[i] ++ b[i].
-std::vector<std::vector<float>> ConcatFeatures(
+std::vector<std::vector<float>> ConcatPerImageFeatures(
     const std::vector<std::vector<float>>& a,
     const std::vector<std::vector<float>>& b) {
   TS_CHECK(a.size() == b.size());
@@ -58,6 +57,8 @@ std::vector<std::vector<float>> ConcatFeatures(
   }
   return out;
 }
+
+namespace {
 
 void ParallelFor(size_t n, int num_threads,
                  const std::function<void(size_t)>& fn) {
@@ -94,7 +95,9 @@ std::vector<std::vector<float>> ExtractLayerFeatures(
   return out;
 }
 
-std::vector<int32_t> ArgmaxLabels(
+}  // namespace
+
+std::vector<int32_t> ArgmaxAveragedLabels(
     const std::vector<std::vector<float>>& layer_features, int num_classes,
     int forests) {
   std::vector<int32_t> labels(layer_features.size());
@@ -111,6 +114,8 @@ std::vector<int32_t> ArgmaxLabels(
   }
   return labels;
 }
+
+namespace {
 
 double Accuracy(const std::vector<int32_t>& pred,
                 const std::vector<int32_t>& truth) {
@@ -276,9 +281,11 @@ DeepForestModel DeepForestTrainer::Train(const ImageDataset& train,
   for (int layer = 0; layer < cf.num_layers; ++layer) {
     size_t wi = layer % mgs.window_sizes.size();
     std::vector<std::vector<float>> train_in =
-        layer == 0 ? train_rep[wi] : ConcatFeatures(prev_train, train_rep[wi]);
+        layer == 0 ? train_rep[wi]
+                   : ConcatPerImageFeatures(prev_train, train_rep[wi]);
     std::vector<std::vector<float>> test_in =
-        layer == 0 ? test_rep[wi] : ConcatFeatures(prev_test, test_rep[wi]);
+        layer == 0 ? test_rep[wi]
+                   : ConcatPerImageFeatures(prev_test, test_rep[wi]);
     DataTable train_table =
         BuildFeatureTable(train_in, train.labels, train.num_classes);
     DataTable test_table =
@@ -303,7 +310,7 @@ DeepForestModel DeepForestTrainer::Train(const ImageDataset& train,
     prev_test =
         ExtractLayerFeatures(forests, test_table, config_.extract_threads);
     std::vector<int32_t> pred =
-        ArgmaxLabels(prev_test, test.num_classes, cf.forests_per_layer);
+        ArgmaxAveragedLabels(prev_test, test.num_classes, cf.forests_per_layer);
     log_step(DeepForestStep{lname + "extract", extract_train_s,
                             test_timer.Seconds(),
                             Accuracy(pred, test.labels)});
@@ -390,12 +397,12 @@ std::vector<int32_t> DeepForestModel::Predict(const ImageDataset& images,
   for (size_t layer = 0; layer < cascade_.size(); ++layer) {
     size_t wi = layer % mgs.window_sizes.size();
     std::vector<std::vector<float>> in =
-        layer == 0 ? rep[wi] : ConcatFeatures(prev, rep[wi]);
+        layer == 0 ? rep[wi] : ConcatPerImageFeatures(prev, rep[wi]);
     DataTable table = BuildFeatureTable(
         in, std::vector<int32_t>(images.size(), 0), num_classes_);
     prev = ExtractLayerFeatures(cascade_[layer], table, num_threads);
   }
-  return ArgmaxLabels(prev, num_classes_,
+  return ArgmaxAveragedLabels(prev, num_classes_,
                       config_.cascade.forests_per_layer);
 }
 

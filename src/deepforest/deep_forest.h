@@ -68,6 +68,20 @@ class DeepForestModel {
 
   int num_layers() const { return static_cast<int>(cascade_.size()); }
 
+  /// Read access for the serving layer (serve/compiled_model.h), which
+  /// flattens the pipeline into compiled forests.
+  const MgsConfig& mgs_config() const { return config_.mgs; }
+  const CascadeConfig& cascade_config() const { return config_.cascade; }
+  int num_classes() const { return num_classes_; }
+  int width() const { return width_; }
+  int height() const { return height_; }
+  const std::vector<std::vector<ForestModel>>& mgs_forests() const {
+    return mgs_;
+  }
+  const std::vector<std::vector<ForestModel>>& cascade_layers() const {
+    return cascade_;
+  }
+
   /// Persists the full pipeline (config, MGS forests, cascade layers);
   /// a restored model predicts identically.
   void Serialize(BinaryWriter* w) const;
@@ -118,6 +132,24 @@ DataTable BuildWindowTable(const ImageDataset& images, int window, int stride,
 std::vector<std::vector<float>> ExtractWindowFeatures(
     const std::vector<ForestModel>& forests, const DataTable& window_table,
     size_t num_images, int num_threads);
+
+/// Builds a numeric-feature classification table from per-image
+/// feature vectors (cascade-layer input). Shared with the serving
+/// layer so compiled and row-at-a-time cascades see identical tables.
+DataTable BuildFeatureTable(const std::vector<std::vector<float>>& features,
+                            const std::vector<int32_t>& labels,
+                            int num_classes);
+
+/// Concatenates per-image feature blocks: out[i] = a[i] ++ b[i].
+std::vector<std::vector<float>> ConcatPerImageFeatures(
+    const std::vector<std::vector<float>>& a,
+    const std::vector<std::vector<float>>& b);
+
+/// Averages the per-forest PMF blocks of each image's feature vector
+/// and returns the argmax label (the cascade's final readout).
+std::vector<int32_t> ArgmaxAveragedLabels(
+    const std::vector<std::vector<float>>& layer_features, int num_classes,
+    int forests);
 
 }  // namespace treeserver
 

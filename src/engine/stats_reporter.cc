@@ -44,11 +44,11 @@ std::string FormatEngineStats(const EngineStats& stats) {
           static_cast<unsigned long long>(m.trees_restarted));
   AppendF(&out,
           "  task memory: %lld bytes (peak %lld)\n"
-          "  %-6s %10s %10s %10s | %12s %12s %10s %9s %7s\n",
+          "  %-6s %10s %10s %10s | %12s %12s %10s %9s %7s %8s\n",
           static_cast<long long>(stats.task_memory_bytes),
           static_cast<long long>(stats.task_memory_peak), "worker",
           "pred.comp", "pred.send", "pred.recv", "sent(B)", "recv(B)",
-          "busy(s)", "computed", "parked");
+          "busy(s)", "computed", "parked", "dropped");
   for (size_t w = 0; w < stats.workers.size(); ++w) {
     const WorkerStats& ws = stats.workers[w];
     MasterStats::WorkerLoad load;
@@ -57,19 +57,21 @@ std::string FormatEngineStats(const EngineStats& stats) {
     if (w < stats.network.endpoints.size()) ep = stats.network.endpoints[w];
     AppendF(&out,
             "  w%-5zu %10.0f %10.0f %10.0f | %12llu %12llu %10.3f %9llu "
-            "%7zu\n",
+            "%7zu %8llu\n",
             w, load.comp, load.send, load.recv,
             static_cast<unsigned long long>(ep.bytes_sent),
             static_cast<unsigned long long>(ep.bytes_recv), ws.busy_seconds,
             static_cast<unsigned long long>(ws.tasks_computed),
-            ws.tasks_parked);
+            ws.tasks_parked,
+            static_cast<unsigned long long>(ep.msgs_dropped));
   }
   if (!stats.network.endpoints.empty()) {
     const NetworkStats::Endpoint& master_ep = stats.network.endpoints.back();
-    AppendF(&out, "  master sent=%lluB recv=%lluB msgs=%llu\n",
+    AppendF(&out, "  master sent=%lluB recv=%lluB msgs=%llu dropped=%llu\n",
             static_cast<unsigned long long>(master_ep.bytes_sent),
             static_cast<unsigned long long>(master_ep.bytes_recv),
-            static_cast<unsigned long long>(master_ep.msgs_sent));
+            static_cast<unsigned long long>(master_ep.msgs_sent),
+            static_cast<unsigned long long>(master_ep.msgs_dropped));
   }
   AppendHistogramLine(&out, "task payload bytes", stats.network.task_payload_bytes);
   AppendHistogramLine(&out, "data payload bytes", stats.network.data_payload_bytes);

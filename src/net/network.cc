@@ -31,6 +31,7 @@ Network::Network(int num_workers, double bandwidth_mbps)
       sent_(num_workers + 1),
       recv_(num_workers + 1),
       msgs_(num_workers + 1),
+      dropped_(num_workers + 1),
       crashed_(num_workers + 1) {
   TS_CHECK(num_workers > 0);
   for (int i = 0; i < num_workers; ++i) {
@@ -47,8 +48,14 @@ Network::Network(int num_workers, double bandwidth_mbps)
 bool Network::Send(ChannelKind channel, Message msg) {
   const int src = msg.src;
   const int dst = msg.dst;
-  if (src != kMasterRank && crashed_[Index(src)].load()) return false;
-  if (dst != kMasterRank && crashed_[Index(dst)].load()) return false;
+  if (src != kMasterRank && crashed_[Index(src)].load()) {
+    dropped_[Index(src)].Inc();
+    return false;
+  }
+  if (dst != kMasterRank && crashed_[Index(dst)].load()) {
+    dropped_[Index(dst)].Inc();
+    return false;
+  }
 
   const bool local = src == dst;
   if (!local) {
@@ -65,11 +72,15 @@ bool Network::Send(ChannelKind channel, Message msg) {
     send_micros_[ch].Add((NowNanos() - start_ns) / 1000);
   }
 
-  if (dst == kMasterRank) return master_queue_->Push(std::move(msg));
-  BlockingQueue<Message>& q = channel == ChannelKind::kTask
-                                  ? *task_queues_[dst]
-                                  : *data_queues_[dst];
-  return q.Push(std::move(msg));
+  BlockingQueue<Message>& q =
+      dst == kMasterRank ? *master_queue_
+                         : (channel == ChannelKind::kTask ? *task_queues_[dst]
+                                                          : *data_queues_[dst]);
+  if (!q.Push(std::move(msg))) {
+    dropped_[Index(dst)].Inc();  // closed mailbox: receiver is gone
+    return false;
+  }
+  return true;
 }
 
 void Network::Throttle(int src, uint64_t bytes) {
@@ -111,10 +122,17 @@ uint64_t Network::total_bytes() const {
   return total;
 }
 
+uint64_t Network::total_msgs_dropped() const {
+  uint64_t total = 0;
+  for (const Counter& c : dropped_) total += c.value();
+  return total;
+}
+
 void Network::ResetCounters() {
   for (Counter& c : sent_) c.Reset();
   for (Counter& c : recv_) c.Reset();
   for (Counter& c : msgs_) c.Reset();
+  for (Counter& c : dropped_) c.Reset();
   for (Histogram& h : payload_bytes_) h.Reset();
   for (Histogram& h : send_micros_) h.Reset();
 }
@@ -126,6 +144,7 @@ NetworkStats Network::GetStats() const {
     stats.endpoints[i].bytes_sent = sent_[i].value();
     stats.endpoints[i].bytes_recv = recv_[i].value();
     stats.endpoints[i].msgs_sent = msgs_[i].value();
+    stats.endpoints[i].msgs_dropped = dropped_[i].value();
   }
   stats.task_payload_bytes =
       payload_bytes_[static_cast<int>(ChannelKind::kTask)].snapshot();

@@ -43,6 +43,9 @@ struct NetworkStats {
     uint64_t bytes_sent = 0;
     uint64_t bytes_recv = 0;
     uint64_t msgs_sent = 0;
+    /// Messages dropped because this endpoint was crashed (as source
+    /// or destination) or its queue was closed.
+    uint64_t msgs_dropped = 0;
   };
   /// Indexed by worker id; the last entry is the master.
   std::vector<Endpoint> endpoints;
@@ -103,6 +106,11 @@ class Network {
     return recv_[Index(endpoint)].value();
   }
   uint64_t total_bytes() const;
+  /// Messages dropped with `endpoint` as the crashed/closed party.
+  uint64_t msgs_dropped(int endpoint) const {
+    return dropped_[Index(endpoint)].value();
+  }
+  uint64_t total_msgs_dropped() const;
   void ResetCounters();
 
   /// Snapshot of per-endpoint traffic and per-channel distributions.
@@ -130,6 +138,9 @@ class Network {
   std::vector<Counter> sent_;
   std::vector<Counter> recv_;
   std::vector<Counter> msgs_;
+  /// Drops charged to the endpoint that caused them (the crashed
+  /// source/destination, or the closed queue's owner).
+  std::vector<Counter> dropped_;
   std::vector<std::atomic<bool>> crashed_;
 
   // Per-channel distributions (index = ChannelKind).

@@ -1,0 +1,52 @@
+#ifndef TREESERVER_SERVE_MODEL_IO_H_
+#define TREESERVER_SERVE_MODEL_IO_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "deepforest/deep_forest.h"
+#include "forest/forest.h"
+#include "tree/model.h"
+
+namespace treeserver {
+
+/// What a model file holds.
+enum class ModelKind : uint8_t {
+  kTree = 0,
+  kForest = 1,
+  kDeepForest = 2,
+};
+
+const char* ModelKindName(ModelKind kind);
+
+/// Model files open with a fixed header so stale/foreign files are
+/// rejected with a clear error instead of garbage deserialization:
+///
+///   uint32 magic ("TSRM"), uint32 format version, uint8 model kind,
+///   then the model's Serialize() payload.
+inline constexpr uint32_t kModelFileMagic = 0x4D525354;  // "TSRM" on disk
+inline constexpr uint32_t kModelFormatVersion = 1;
+
+/// Atomic (write-temp-then-rename) save of a serialized model with the
+/// file header. Returns IOError on filesystem failures.
+Status SaveToFile(const TreeModel& model, const std::string& path);
+Status SaveToFile(const ForestModel& model, const std::string& path);
+Status SaveToFile(const DeepForestModel& model, const std::string& path);
+
+/// Loads a model saved by the matching SaveToFile. Errors:
+///   - IOError: file unreadable
+///   - Corruption: bad magic, truncated payload, or trailing bytes
+///   - InvalidArgument: unsupported future format version, or the file
+///     holds a different model kind than requested
+Status LoadFromFile(const std::string& path, TreeModel* out);
+Status LoadFromFile(const std::string& path, ForestModel* out);
+Status LoadFromFile(const std::string& path, DeepForestModel* out);
+
+/// Reads just the header and reports what the file holds (used by the
+/// registry to dispatch PublishFromFile).
+Result<ModelKind> ReadModelFileKind(const std::string& path);
+
+}  // namespace treeserver
+
+#endif  // TREESERVER_SERVE_MODEL_IO_H_

@@ -56,6 +56,33 @@ TEST(NetworkTest, CrashedWorkerTrafficDropped) {
   EXPECT_TRUE(net.Send(ChannelKind::kTask, Message{kMasterRank, 0, 1, "x"}));
 }
 
+TEST(NetworkTest, CountsDroppedMessagesPerEndpoint) {
+  Network net(3, 0.0);
+  EXPECT_EQ(net.total_msgs_dropped(), 0u);
+  net.SetCrashed(1);
+  // Dropped because the destination is crashed: charged to 1.
+  net.Send(ChannelKind::kTask, Message{kMasterRank, 1, 1, "x"});
+  net.Send(ChannelKind::kData, Message{0, 1, 1, "x"});
+  // Dropped because the source is crashed: also charged to 1.
+  net.Send(ChannelKind::kTask, Message{1, kMasterRank, 1, "x"});
+  // Delivered fine: no drop.
+  EXPECT_TRUE(net.Send(ChannelKind::kTask, Message{kMasterRank, 2, 1, "x"}));
+  EXPECT_EQ(net.msgs_dropped(1), 3u);
+  EXPECT_EQ(net.msgs_dropped(0), 0u);
+  EXPECT_EQ(net.msgs_dropped(2), 0u);
+  EXPECT_EQ(net.msgs_dropped(kMasterRank), 0u);
+  EXPECT_EQ(net.total_msgs_dropped(), 3u);
+
+  NetworkStats stats = net.GetStats();
+  ASSERT_EQ(stats.endpoints.size(), 4u);
+  EXPECT_EQ(stats.endpoints[1].msgs_dropped, 3u);
+  EXPECT_EQ(stats.endpoints[0].msgs_dropped, 0u);
+
+  net.ResetCounters();
+  EXPECT_EQ(net.total_msgs_dropped(), 0u);
+  EXPECT_EQ(net.msgs_dropped(1), 0u);
+}
+
 TEST(NetworkTest, ThrottleDelaysBigSends) {
   // 1 Mbps -> 125000 bytes/s; 125000 bytes should take about a second.
   // Use a smaller payload to keep the test fast: 12500 bytes ~ 100 ms.

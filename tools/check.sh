@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 gate plus a ThreadSanitizer pass over the concurrency tests.
 #
-#   tools/check.sh          # plain build + full ctest + TSan concurrency pass
+#   tools/check.sh          # build + ctest + serve smoke + TSan concurrency pass
 #   tools/check.sh --fast   # skip the TSan pass
 #
 # The TSan stage rebuilds into build-tsan/ with TS_SANITIZE=thread and
@@ -26,6 +26,10 @@ cmake --build build -j
 echo "== tier-1: ctest =="
 (cd build && ctest --output-on-failure -j"$(nproc)")
 
+echo "== serve smoke: quickstart example + quick serving bench =="
+./build/examples/serve_quickstart
+./build/bench/bench_serve --quick
+
 if [[ "$FAST" == "1" ]]; then
   echo "== skipping TSan pass (--fast) =="
   exit 0
@@ -35,8 +39,8 @@ echo "== tsan: configure + build =="
 cmake -B build-tsan -S . -DTS_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j
 
-echo "== tsan: concurrent_test + engine_stress_test =="
+echo "== tsan: concurrent_test + engine_stress_test + serve =="
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/treeserver_tests \
-  --gtest_filter='BlockingQueue*:ConcurrentHashMap*:PlanDeque*:EngineStress*'
+  --gtest_filter='BlockingQueue*:ConcurrentHashMap*:PlanDeque*:EngineStress*:InferenceServer*:ModelRegistry*'
 
 echo "== all checks passed =="
