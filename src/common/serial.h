@@ -75,7 +75,9 @@ class BinaryReader {
   Status ReadString(std::string* out) {
     uint64_t len = 0;
     TS_RETURN_IF_ERROR(Read(&len));
-    if (pos_ + len > size_) {
+    // `len > size_ - pos_` (not `pos_ + len > size_`): a hostile
+    // length near 2^64 must not wrap the addition past the bound.
+    if (len > size_ - pos_) {
       return Status::Corruption("BinaryReader: string past end");
     }
     out->assign(data_ + pos_, len);
@@ -87,7 +89,9 @@ class BinaryReader {
   Status ReadVector(std::vector<T>* out) {
     uint64_t len = 0;
     TS_RETURN_IF_ERROR(Read(&len));
-    if (pos_ + len * sizeof(T) > size_) {
+    // Division keeps hostile lengths from overflowing len * sizeof(T)
+    // (and from reaching resize() with an absurd allocation size).
+    if (len > (size_ - pos_) / sizeof(T)) {
       return Status::Corruption("BinaryReader: vector past end");
     }
     out->resize(len);

@@ -21,7 +21,7 @@ uint64_t NowNanos() {
 
 }  // namespace
 
-Master::Master(std::shared_ptr<const DataTable> table, Network* network,
+Master::Master(std::shared_ptr<const DataTable> table, Transport* network,
                const EngineConfig& config)
     : table_(std::move(table)),
       network_(network),
@@ -404,8 +404,12 @@ void Master::RecvLoop() {
         break;
       case MsgType::kWorkerCrashed: {
         BinaryReader r(msg->payload);
-        int32_t w = r.ReadOrDie<int32_t>();
-        HandleWorkerCrash(w);
+        int32_t w = 0;
+        if (r.Read(&w).ok() && w >= 0 && w < config_.num_workers) {
+          HandleWorkerCrash(w);
+        } else {
+          TS_LOG(kError) << "master: bad crash notice";
+        }
         break;
       }
       default:
@@ -416,7 +420,10 @@ void Master::RecvLoop() {
 
 void Master::HandleColumnResponse(const std::string& payload) {
   ColumnTaskResponse resp;
-  TS_CHECK(ColumnTaskResponse::Decode(payload, &resp).ok());
+  if (Status st = ColumnTaskResponse::Decode(payload, &resp); !st.ok()) {
+    TS_LOG(kError) << "master: bad column response: " << st.ToString();
+    return;
+  }
   EntryPtr entry;
   ttask_.Visit(resp.task_id, [&](EntryPtr& e) { entry = e; });
   if (entry == nullptr) return;  // revoked
@@ -603,7 +610,10 @@ void Master::ProcessNodeCompletion(const EntryPtr& entry) {
 
 void Master::HandleSubtreeResult(const std::string& payload) {
   SubtreeResult resp;
-  TS_CHECK(SubtreeResult::Decode(payload, &resp).ok());
+  if (Status st = SubtreeResult::Decode(payload, &resp); !st.ok()) {
+    TS_LOG(kError) << "master: bad subtree result: " << st.ToString();
+    return;
+  }
   EntryPtr entry;
   ttask_.Visit(resp.task_id, [&](EntryPtr& e) { entry = e; });
   if (entry == nullptr) return;  // revoked
@@ -656,6 +666,9 @@ void Master::TaskFinished(uint32_t tree_id) {
   // Last task of this tree: flush it to its job and free the pool slot
   // immediately (progress table T_prog, Appendix C).
   JobState& job = jobs_[ts.job_id];
+  // Node layout follows task completion order up to here; canonicalize
+  // so the serialized tree is identical across runs and transports.
+  ts.model.Canonicalize();
   job.trees[ts.tree_index] = std::move(ts.model);
   ++job.done;
   trees_completed_.Inc();

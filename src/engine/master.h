@@ -16,7 +16,7 @@
 #include "engine/cost_model.h"
 #include "engine/messages.h"
 #include "forest/forest.h"
-#include "net/network.h"
+#include "rpc/transport.h"
 #include "table/data_table.h"
 
 namespace treeserver {
@@ -83,7 +83,7 @@ struct MasterStats {
 /// conditions and statistics.
 class Master {
  public:
-  Master(std::shared_ptr<const DataTable> table, Network* network,
+  Master(std::shared_ptr<const DataTable> table, Transport* network,
          const EngineConfig& config);
   ~Master();
 
@@ -223,7 +223,7 @@ class Master {
                    const TaskContext& ctx) const;
 
   const std::shared_ptr<const DataTable> table_;
-  Network* const network_;
+  Transport* const network_;
   const EngineConfig config_;
 
   ColumnPlacement placement_;

@@ -178,6 +178,11 @@ Status ReadRowIds(BinaryReader* r, std::vector<uint32_t>* rows) {
   if (encoding == 0) return r->ReadVector(rows);
   uint64_t count;
   TS_RETURN_IF_ERROR(ReadVarint64(r, &count));
+  // Each delta varint is at least one byte; a hostile count larger
+  // than the remaining payload must not reach reserve().
+  if (count > r->remaining()) {
+    return Status::Corruption("row-id count exceeds payload");
+  }
   rows->clear();
   rows->reserve(count);
   uint64_t prev = 0;
@@ -314,6 +319,15 @@ Status DeserializeColumn(BinaryReader* r, ColumnPtr* out) {
   TS_RETURN_IF_ERROR(r->Read(&bits));
   uint64_t count;
   TS_RETURN_IF_ERROR(ReadVarint64(r, &count));
+  if (card < 0 || bits == 0 || bits > 32) {
+    return Status::Corruption("packed column: bad cardinality/bit width");
+  }
+  // `count` codes occupy ceil(count*bits/8) bytes; reject counts the
+  // remaining payload cannot possibly hold before reserving.
+  if (count / 8 > r->remaining() / bits ||
+      (count * bits + 7) / 8 > r->remaining()) {
+    return Status::Corruption("packed column: count exceeds payload");
+  }
   std::vector<int32_t> codes;
   codes.reserve(count);
   uint64_t buffer = 0;
@@ -353,6 +367,11 @@ Status ColumnDataResponse::Decode(const std::string& payload,
   TS_RETURN_IF_ERROR(r.ReadVector(&out->columns));
   uint64_t count;
   TS_RETURN_IF_ERROR(r.Read(&count));
+  // Every serialized column is at least a tag byte plus a name length;
+  // bound the resize by what the payload could possibly carry.
+  if (count > r.remaining()) {
+    return Status::Corruption("column count exceeds payload");
+  }
   out->data.resize(count);
   for (uint64_t i = 0; i < count; ++i) {
     TS_RETURN_IF_ERROR(DeserializeColumn(&r, &out->data[i]));

@@ -44,26 +44,41 @@ std::string FormatEngineStats(const EngineStats& stats) {
           static_cast<unsigned long long>(m.trees_restarted));
   AppendF(&out,
           "  task memory: %lld bytes (peak %lld)\n"
-          "  %-6s %10s %10s %10s | %12s %12s %10s %9s %7s %8s\n",
+          "  %-6s %10s %10s %10s | %12s %12s %10s %9s %7s %8s %7s %8s "
+          "%10s\n",
           static_cast<long long>(stats.task_memory_bytes),
           static_cast<long long>(stats.task_memory_peak), "worker",
           "pred.comp", "pred.send", "pred.recv", "sent(B)", "recv(B)",
-          "busy(s)", "computed", "parked", "dropped");
-  for (size_t w = 0; w < stats.workers.size(); ++w) {
-    const WorkerStats& ws = stats.workers[w];
+          "busy(s)", "computed", "parked", "dropped", "reconn", "hb_miss",
+          "sbuf_hwm");
+  // On a TCP master node the workers are remote processes, so
+  // stats.workers is empty; the per-worker transport columns still
+  // have a row per endpoint.
+  const size_t worker_rows =
+      stats.workers.empty()
+          ? (stats.network.endpoints.empty()
+                 ? 0
+                 : stats.network.endpoints.size() - 1)
+          : stats.workers.size();
+  for (size_t w = 0; w < worker_rows; ++w) {
+    WorkerStats ws;
+    if (w < stats.workers.size()) ws = stats.workers[w];
     MasterStats::WorkerLoad load;
     if (w < m.predicted_load.size()) load = m.predicted_load[w];
     NetworkStats::Endpoint ep;
     if (w < stats.network.endpoints.size()) ep = stats.network.endpoints[w];
     AppendF(&out,
             "  w%-5zu %10.0f %10.0f %10.0f | %12llu %12llu %10.3f %9llu "
-            "%7zu %8llu\n",
+            "%7zu %8llu %7llu %8llu %10llu\n",
             w, load.comp, load.send, load.recv,
             static_cast<unsigned long long>(ep.bytes_sent),
             static_cast<unsigned long long>(ep.bytes_recv), ws.busy_seconds,
             static_cast<unsigned long long>(ws.tasks_computed),
             ws.tasks_parked,
-            static_cast<unsigned long long>(ep.msgs_dropped));
+            static_cast<unsigned long long>(ep.msgs_dropped),
+            static_cast<unsigned long long>(ep.reconnects),
+            static_cast<unsigned long long>(ep.heartbeat_misses),
+            static_cast<unsigned long long>(ep.send_buffer_hwm));
   }
   if (!stats.network.endpoints.empty()) {
     const NetworkStats::Endpoint& master_ep = stats.network.endpoints.back();

@@ -23,7 +23,7 @@ uint64_t NowNanos() {
 }  // namespace
 
 Worker::Worker(int id, std::shared_ptr<const DataTable> table,
-               Network* network, int num_compers, PeakGauge* task_memory,
+               Transport* network, int num_compers, PeakGauge* task_memory,
                BusyClock* busy_clock, bool compress_transfers)
     : id_(id),
       table_(std::move(table)),
@@ -133,7 +133,10 @@ void Worker::TaskLoop() {
 
 void Worker::HandleColumnTaskPlan(const std::string& payload) {
   ColumnTaskPlan plan;
-  TS_CHECK(ColumnTaskPlan::Decode(payload, &plan).ok());
+  if (Status st = ColumnTaskPlan::Decode(payload, &plan); !st.ok()) {
+    TS_LOG(kError) << "w" << id_ << ": bad column plan: " << st.ToString();
+    return;
+  }
   TS_LOG(kDebug) << "w" << id_ << ": column plan task " << plan.task_id;
   auto task = std::make_shared<TaskState>(task_memory_);
   task->kind = TaskKindTag::kColumn;
@@ -155,7 +158,10 @@ void Worker::HandleColumnTaskPlan(const std::string& payload) {
 
 void Worker::HandleSubtreeTaskPlan(const std::string& payload) {
   SubtreeTaskPlan plan;
-  TS_CHECK(SubtreeTaskPlan::Decode(payload, &plan).ok());
+  if (Status st = SubtreeTaskPlan::Decode(payload, &plan); !st.ok()) {
+    TS_LOG(kError) << "w" << id_ << ": bad subtree plan: " << st.ToString();
+    return;
+  }
   auto task = std::make_shared<TaskState>(task_memory_);
   task->kind = TaskKindTag::kSubtree;
   task->tree_id = plan.tree_id;
@@ -199,7 +205,10 @@ void Worker::HandleSubtreeTaskPlan(const std::string& payload) {
 
 void Worker::HandleBestSplitNotify(const std::string& payload) {
   BestSplitNotify notify;
-  TS_CHECK(BestSplitNotify::Decode(payload, &notify).ok());
+  if (Status st = BestSplitNotify::Decode(payload, &notify); !st.ok()) {
+    TS_LOG(kError) << "w" << id_ << ": bad split notify: " << st.ToString();
+    return;
+  }
   TaskPtr task = Find(notify.task_id);
   if (task == nullptr) return;  // revoked meanwhile
 
@@ -252,19 +261,19 @@ void Worker::HandleBestSplitNotify(const std::string& payload) {
 
 void Worker::HandleTaskDelete(const std::string& payload) {
   TaskIdOnly body;
-  TS_CHECK(TaskIdOnly::Decode(payload, &body).ok());
+  if (!TaskIdOnly::Decode(payload, &body).ok()) return;
   tasks_.Erase(body.task_id);
 }
 
 void Worker::HandleParentRelease(const std::string& payload) {
   TaskIdOnly body;
-  TS_CHECK(TaskIdOnly::Decode(payload, &body).ok());
+  if (!TaskIdOnly::Decode(payload, &body).ok()) return;
   tasks_.Erase(body.task_id);
 }
 
 void Worker::HandleTreeRevoke(const std::string& payload) {
   TreeIdOnly body;
-  TS_CHECK(TreeIdOnly::Decode(payload, &body).ok());
+  if (!TreeIdOnly::Decode(payload, &body).ok()) return;
   std::vector<uint64_t> keys = tasks_.KeysWhere(
       [&](const uint64_t&, const TaskPtr& t) {
         return t->tree_id == body.tree_id;
@@ -318,7 +327,10 @@ void Worker::ServeIx(const TaskPtr& task, const IxRequest& req) {
 
 void Worker::HandleIxRequest(const std::string& payload) {
   IxRequest req;
-  TS_CHECK(IxRequest::Decode(payload, &req).ok());
+  if (Status st = IxRequest::Decode(payload, &req); !st.ok()) {
+    TS_LOG(kError) << "w" << id_ << ": bad ix request: " << st.ToString();
+    return;
+  }
   TaskPtr task = Find(req.parent_task);
   TS_LOG(kDebug) << "w" << id_ << ": ix request parent_task="
                  << req.parent_task << " from w" << req.requester_worker
@@ -335,7 +347,10 @@ void Worker::HandleIxRequest(const std::string& payload) {
 
 void Worker::HandleIxResponse(const std::string& payload) {
   IxResponse resp;
-  TS_CHECK(IxResponse::Decode(payload, &resp).ok());
+  if (Status st = IxResponse::Decode(payload, &resp); !st.ok()) {
+    TS_LOG(kError) << "w" << id_ << ": bad ix response: " << st.ToString();
+    return;
+  }
   TaskPtr task = Find(resp.requester_task);
   TS_LOG(kDebug) << "w" << id_ << ": ix response for task "
                  << resp.requester_task << " rows=" << resp.rows.size()
@@ -369,7 +384,10 @@ void Worker::HandleIxResponse(const std::string& payload) {
 
 void Worker::HandleColumnDataRequest(const std::string& payload) {
   ColumnDataRequest req;
-  TS_CHECK(ColumnDataRequest::Decode(payload, &req).ok());
+  if (Status st = ColumnDataRequest::Decode(payload, &req); !st.ok()) {
+    TS_LOG(kError) << "w" << id_ << ": bad column request: " << st.ToString();
+    return;
+  }
   auto task = std::make_shared<TaskState>(task_memory_);
   task->kind = TaskKindTag::kServe;
   task->tree_id = req.tree_id;
@@ -416,7 +434,10 @@ void Worker::ServeColumns(const TaskPtr& task) {
 
 void Worker::HandleColumnDataResponse(const std::string& payload) {
   ColumnDataResponse resp;
-  TS_CHECK(ColumnDataResponse::Decode(payload, &resp).ok());
+  if (Status st = ColumnDataResponse::Decode(payload, &resp); !st.ok()) {
+    TS_LOG(kError) << "w" << id_ << ": bad column response: " << st.ToString();
+    return;
+  }
   TaskPtr task = Find(resp.task_id);
   if (task == nullptr) return;
   std::lock_guard<std::mutex> lock(task->mu);

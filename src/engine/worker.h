@@ -11,7 +11,7 @@
 #include "concurrent/blocking_queue.h"
 #include "concurrent/concurrent_hash_map.h"
 #include "engine/messages.h"
-#include "net/network.h"
+#include "rpc/transport.h"
 #include "table/data_table.h"
 
 namespace treeserver {
@@ -44,7 +44,7 @@ struct WorkerStats {
 /// communication with computation.
 class Worker {
  public:
-  Worker(int id, std::shared_ptr<const DataTable> table, Network* network,
+  Worker(int id, std::shared_ptr<const DataTable> table, Transport* network,
          int num_compers, PeakGauge* task_memory, BusyClock* busy_clock,
          bool compress_transfers = false);
   ~Worker();
@@ -152,7 +152,7 @@ class Worker {
 
   const int id_;
   const std::shared_ptr<const DataTable> table_;
-  Network* const network_;
+  Transport* const network_;
   const int num_compers_;
   PeakGauge* const task_memory_;
   BusyClock* const busy_clock_;

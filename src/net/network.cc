@@ -25,15 +25,9 @@ uint64_t NowNanos() {
 
 }  // namespace
 
-Network::Network(int num_workers, double bandwidth_mbps)
-    : num_workers_(num_workers),
-      bytes_per_second_(bandwidth_mbps * 1e6 / 8.0),
-      sent_(num_workers + 1),
-      recv_(num_workers + 1),
-      msgs_(num_workers + 1),
-      dropped_(num_workers + 1),
-      crashed_(num_workers + 1) {
-  TS_CHECK(num_workers > 0);
+InProcessTransport::InProcessTransport(int num_workers, double bandwidth_mbps)
+    : Transport(num_workers),
+      bytes_per_second_(bandwidth_mbps * 1e6 / 8.0) {
   for (int i = 0; i < num_workers; ++i) {
     task_queues_.push_back(std::make_unique<BlockingQueue<Message>>());
     data_queues_.push_back(std::make_unique<BlockingQueue<Message>>());
@@ -41,19 +35,18 @@ Network::Network(int num_workers, double bandwidth_mbps)
   master_queue_ = std::make_unique<BlockingQueue<Message>>();
   for (int i = 0; i <= num_workers; ++i) {
     links_.push_back(std::make_unique<LinkState>());
-    crashed_[i].store(false, std::memory_order_relaxed);
   }
 }
 
-bool Network::Send(ChannelKind channel, Message msg) {
+bool InProcessTransport::Send(ChannelKind channel, Message msg) {
   const int src = msg.src;
   const int dst = msg.dst;
-  if (src != kMasterRank && crashed_[Index(src)].load()) {
-    dropped_[Index(src)].Inc();
+  if (src != kMasterRank && IsCrashed(src)) {
+    CountDrop(src);
     return false;
   }
-  if (dst != kMasterRank && crashed_[Index(dst)].load()) {
-    dropped_[Index(dst)].Inc();
+  if (dst != kMasterRank && IsCrashed(dst)) {
+    CountDrop(dst);
     return false;
   }
 
@@ -62,14 +55,10 @@ bool Network::Send(ChannelKind channel, Message msg) {
     uint64_t bytes = msg.payload.size() + kHeaderBytes;
     TraceSpan span(TraceCat::kNetSend, "send", msg.trace_id);
     span.SetArg("bytes", static_cast<int64_t>(bytes));
-    sent_[Index(src)].Add(bytes);
-    recv_[Index(dst)].Add(bytes);
-    msgs_[Index(src)].Inc();
-    const int ch = static_cast<int>(channel);
-    payload_bytes_[ch].Add(bytes);
+    AccountSend(channel, src, dst, msg.payload.size());
     uint64_t start_ns = NowNanos();
     if (bytes_per_second_ > 0) Throttle(src, bytes);
-    send_micros_[ch].Add((NowNanos() - start_ns) / 1000);
+    AccountSendMicros(channel, (NowNanos() - start_ns) / 1000);
   }
 
   BlockingQueue<Message>& q =
@@ -77,13 +66,13 @@ bool Network::Send(ChannelKind channel, Message msg) {
                          : (channel == ChannelKind::kTask ? *task_queues_[dst]
                                                           : *data_queues_[dst]);
   if (!q.Push(std::move(msg))) {
-    dropped_[Index(dst)].Inc();  // closed mailbox: receiver is gone
+    CountDrop(dst);  // closed mailbox: receiver is gone
     return false;
   }
   return true;
 }
 
-void Network::Throttle(int src, uint64_t bytes) {
+void InProcessTransport::Throttle(int src, uint64_t bytes) {
   const double duration = static_cast<double>(bytes) / bytes_per_second_;
   double wait = 0.0;
   {
@@ -99,62 +88,17 @@ void Network::Throttle(int src, uint64_t bytes) {
   }
 }
 
-void Network::SetCrashed(int worker) {
+void InProcessTransport::SetCrashed(int worker) {
   TS_CHECK(worker >= 0 && worker < num_workers_);
-  crashed_[Index(worker)].store(true, std::memory_order_relaxed);
+  MarkCrashed(worker);
   task_queues_[worker]->Close();
   data_queues_[worker]->Close();
 }
 
-bool Network::IsCrashed(int worker) const {
-  return crashed_[Index(worker)].load(std::memory_order_relaxed);
-}
-
-void Network::CloseAll() {
+void InProcessTransport::CloseAll() {
   for (auto& q : task_queues_) q->Close();
   for (auto& q : data_queues_) q->Close();
   master_queue_->Close();
-}
-
-uint64_t Network::total_bytes() const {
-  uint64_t total = 0;
-  for (const Counter& c : sent_) total += c.value();
-  return total;
-}
-
-uint64_t Network::total_msgs_dropped() const {
-  uint64_t total = 0;
-  for (const Counter& c : dropped_) total += c.value();
-  return total;
-}
-
-void Network::ResetCounters() {
-  for (Counter& c : sent_) c.Reset();
-  for (Counter& c : recv_) c.Reset();
-  for (Counter& c : msgs_) c.Reset();
-  for (Counter& c : dropped_) c.Reset();
-  for (Histogram& h : payload_bytes_) h.Reset();
-  for (Histogram& h : send_micros_) h.Reset();
-}
-
-NetworkStats Network::GetStats() const {
-  NetworkStats stats;
-  stats.endpoints.resize(num_workers_ + 1);
-  for (int i = 0; i <= num_workers_; ++i) {
-    stats.endpoints[i].bytes_sent = sent_[i].value();
-    stats.endpoints[i].bytes_recv = recv_[i].value();
-    stats.endpoints[i].msgs_sent = msgs_[i].value();
-    stats.endpoints[i].msgs_dropped = dropped_[i].value();
-  }
-  stats.task_payload_bytes =
-      payload_bytes_[static_cast<int>(ChannelKind::kTask)].snapshot();
-  stats.data_payload_bytes =
-      payload_bytes_[static_cast<int>(ChannelKind::kData)].snapshot();
-  stats.task_send_micros =
-      send_micros_[static_cast<int>(ChannelKind::kTask)].snapshot();
-  stats.data_send_micros =
-      send_micros_[static_cast<int>(ChannelKind::kData)].snapshot();
-  return stats;
 }
 
 }  // namespace treeserver

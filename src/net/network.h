@@ -1,63 +1,17 @@
 #ifndef TREESERVER_NET_NETWORK_H_
 #define TREESERVER_NET_NETWORK_H_
 
-#include <atomic>
 #include <memory>
 #include <mutex>
-#include <string>
 #include <vector>
 
-#include "common/metrics.h"
-#include "common/metrics_registry.h"
-#include "concurrent/blocking_queue.h"
+#include "rpc/transport.h"
 
 namespace treeserver {
 
-/// Endpoint id of the master (workers are 0..num_workers-1).
-inline constexpr int kMasterRank = -1;
-
-/// One simulated network message. `type` is interpreted by the engine
-/// (see engine/messages.h); the network treats the payload as opaque
-/// bytes and only accounts/throttles them.
-struct Message {
-  int src = kMasterRank;
-  int dst = kMasterRank;
-  uint32_t type = 0;
-  std::string payload;
-  /// Correlation id for tracing (the task id the message belongs to,
-  /// when the sender knows it); 0 = uncorrelated. Not serialized, not
-  /// charged to the byte counters.
-  uint64_t trace_id = 0;
-};
-
-/// The two channel classes of Fig. 6: Task Comm (master <-> workers)
-/// and Data Comm (worker <-> worker).
-enum class ChannelKind : uint8_t {
-  kTask = 0,
-  kData = 1,
-};
-
-/// Point-in-time network statistics (part of the EngineStats snapshot).
-struct NetworkStats {
-  struct Endpoint {
-    uint64_t bytes_sent = 0;
-    uint64_t bytes_recv = 0;
-    uint64_t msgs_sent = 0;
-    /// Messages dropped because this endpoint was crashed (as source
-    /// or destination) or its queue was closed.
-    uint64_t msgs_dropped = 0;
-  };
-  /// Indexed by worker id; the last entry is the master.
-  std::vector<Endpoint> endpoints;
-  /// Per-channel payload-size (bytes) and send-latency (µs, including
-  /// simulated link throttling) distributions.
-  Histogram::Snapshot task_payload_bytes;
-  Histogram::Snapshot data_payload_bytes;
-  Histogram::Snapshot task_send_micros;
-  Histogram::Snapshot data_send_micros;
-};
-
-/// In-process stand-in for the cluster interconnect.
+/// In-process stand-in for the cluster interconnect (the reference
+/// Transport implementation; see rpc/transport.h for the interface and
+/// rpc/tcp_transport.h for the real-socket sibling).
 ///
 /// Every worker owns two mailboxes (task / data); the master owns one.
 /// Send() counts the serialized bytes per endpoint and, when a
@@ -66,86 +20,40 @@ struct NetworkStats {
 /// the network-bound flattening of Table VI. Local (src == dst)
 /// deliveries are free, mirroring TreeServer's "skip communication
 /// when the requested data is local".
-class Network {
+class InProcessTransport : public Transport {
  public:
   /// bandwidth_mbps: per-endpoint outbound link speed in megabits/s;
   /// 0 disables throttling.
-  Network(int num_workers, double bandwidth_mbps);
-
-  Network(const Network&) = delete;
-  Network& operator=(const Network&) = delete;
-
-  int num_workers() const { return num_workers_; }
+  InProcessTransport(int num_workers, double bandwidth_mbps);
 
   /// Routes a message. Returns false if it was dropped (destination
   /// crashed or queue closed). Messages from a crashed source are also
   /// dropped, modeling a dead host.
-  bool Send(ChannelKind channel, Message msg);
+  bool Send(ChannelKind channel, Message msg) override;
 
-  BlockingQueue<Message>& task_queue(int worker) {
+  BlockingQueue<Message>& task_queue(int worker) override {
     return *task_queues_[worker];
   }
-  BlockingQueue<Message>& data_queue(int worker) {
+  BlockingQueue<Message>& data_queue(int worker) override {
     return *data_queues_[worker];
   }
-  BlockingQueue<Message>& master_queue() { return *master_queue_; }
+  BlockingQueue<Message>& master_queue() override { return *master_queue_; }
 
   /// Marks a worker as crashed: all of its traffic is dropped from now
   /// on, and its queues are closed so its threads terminate.
-  void SetCrashed(int worker);
-  bool IsCrashed(int worker) const;
+  void SetCrashed(int worker) override;
 
   /// Closes every queue (engine shutdown).
-  void CloseAll();
-
-  /// Per-endpoint traffic counters (payload + fixed header bytes).
-  uint64_t bytes_sent(int endpoint) const {
-    return sent_[Index(endpoint)].value();
-  }
-  uint64_t bytes_received(int endpoint) const {
-    return recv_[Index(endpoint)].value();
-  }
-  uint64_t total_bytes() const;
-  /// Messages dropped with `endpoint` as the crashed/closed party.
-  uint64_t msgs_dropped(int endpoint) const {
-    return dropped_[Index(endpoint)].value();
-  }
-  uint64_t total_msgs_dropped() const;
-  void ResetCounters();
-
-  /// Snapshot of per-endpoint traffic and per-channel distributions.
-  NetworkStats GetStats() const;
+  void CloseAll() override;
 
  private:
-  /// Fixed per-message overhead charged on top of the payload.
-  static constexpr uint64_t kHeaderBytes = 24;
-
-  size_t Index(int endpoint) const {
-    return endpoint == kMasterRank ? static_cast<size_t>(num_workers_)
-                                   : static_cast<size_t>(endpoint);
-  }
-
   void Throttle(int src, uint64_t bytes);
 
-  const int num_workers_;
   const double bytes_per_second_;  // 0 = unthrottled
 
   std::vector<std::unique_ptr<BlockingQueue<Message>>> task_queues_;
   std::vector<std::unique_ptr<BlockingQueue<Message>>> data_queues_;
   std::unique_ptr<BlockingQueue<Message>> master_queue_;
-
-  // One counter slot per worker plus one for the master.
-  std::vector<Counter> sent_;
-  std::vector<Counter> recv_;
-  std::vector<Counter> msgs_;
-  /// Drops charged to the endpoint that caused them (the crashed
-  /// source/destination, or the closed queue's owner).
-  std::vector<Counter> dropped_;
-  std::vector<std::atomic<bool>> crashed_;
-
-  // Per-channel distributions (index = ChannelKind).
-  Histogram payload_bytes_[2];
-  Histogram send_micros_[2];
 
   // Per-endpoint token bucket: next instant the link is free.
   struct LinkState {
@@ -154,6 +62,10 @@ class Network {
   };
   std::vector<std::unique_ptr<LinkState>> links_;
 };
+
+/// Historical name: the engine's tests, benches and examples grew up
+/// on the simulated network before the Transport split.
+using Network = InProcessTransport;
 
 }  // namespace treeserver
 

@@ -1,0 +1,41 @@
+#include "rpc/crc32c.h"
+
+#include <array>
+
+namespace treeserver {
+
+namespace {
+
+// Reflected CRC-32C polynomial (iSCSI / SSE4.2 `crc32` instruction).
+constexpr uint32_t kPoly = 0x82F63B78u;
+
+constexpr std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) != 0 ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kTable = MakeTable();
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t len) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  crc = ~crc;
+  for (size_t i = 0; i < len; ++i) {
+    crc = kTable[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+uint32_t Crc32c(const void* data, size_t len) {
+  return Crc32cExtend(0, data, len);
+}
+
+}  // namespace treeserver

@@ -1,0 +1,20 @@
+#ifndef TREESERVER_RPC_CRC32C_H_
+#define TREESERVER_RPC_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace treeserver {
+
+/// CRC-32C (Castagnoli) over `data[0..len)`. Software table-driven
+/// implementation; fast enough for framing (the payloads it guards are
+/// dominated by serialization cost anyway).
+uint32_t Crc32c(const void* data, size_t len);
+
+/// Incremental form: feed `crc` back in to extend a running checksum.
+/// `Crc32cExtend(0, p, n) == Crc32c(p, n)`.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t len);
+
+}  // namespace treeserver
+
+#endif  // TREESERVER_RPC_CRC32C_H_

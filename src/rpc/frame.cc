@@ -1,0 +1,110 @@
+#include "rpc/frame.h"
+
+#include <cstring>
+
+#include "common/serial.h"
+#include "rpc/crc32c.h"
+
+namespace treeserver {
+
+namespace {
+
+void AppendHeaderAndPayload(uint8_t wire_channel, uint32_t msg_type,
+                            int32_t src, int32_t dst, uint64_t trace_id,
+                            const std::string& payload, std::string* out) {
+  BinaryWriter w;
+  w.Write<uint32_t>(kFrameMagic);
+  w.Write<uint8_t>(kFrameVersion);
+  w.Write<uint8_t>(wire_channel);
+  w.Write<uint16_t>(0);  // reserved
+  w.Write<uint32_t>(msg_type);
+  w.Write<int32_t>(src);
+  w.Write<int32_t>(dst);
+  w.Write<uint64_t>(trace_id);
+  w.Write<uint32_t>(static_cast<uint32_t>(payload.size()));
+  w.Write<uint32_t>(Crc32c(payload.data(), payload.size()));
+  const std::string& head = w.buffer();
+  w.Write<uint32_t>(Crc32c(head.data(), kFrameHeaderBytes - 4));
+  out->append(w.buffer());
+  out->append(payload);
+}
+
+}  // namespace
+
+void AppendFrame(uint8_t wire_channel, const Message& msg, std::string* out) {
+  AppendHeaderAndPayload(wire_channel, msg.type, msg.src, msg.dst,
+                         msg.trace_id, msg.payload, out);
+}
+
+void AppendControlFrame(uint32_t ctrl_type, int src, int dst,
+                        const std::string& payload, std::string* out) {
+  AppendHeaderAndPayload(kWireChannelControl, ctrl_type, src, dst,
+                         /*trace_id=*/0, payload, out);
+}
+
+Status ParseFrameHeader(const char* data, size_t len, FrameHeader* out) {
+  if (len < kFrameHeaderBytes) {
+    return Status::Corruption("frame: short header");
+  }
+  BinaryReader r(data, kFrameHeaderBytes);
+  uint32_t magic = 0;
+  uint16_t reserved = 0;
+  FrameHeader h;
+  TS_RETURN_IF_ERROR(r.Read(&magic));
+  TS_RETURN_IF_ERROR(r.Read(&h.version));
+  TS_RETURN_IF_ERROR(r.Read(&h.channel));
+  TS_RETURN_IF_ERROR(r.Read(&reserved));
+  TS_RETURN_IF_ERROR(r.Read(&h.msg_type));
+  TS_RETURN_IF_ERROR(r.Read(&h.src));
+  TS_RETURN_IF_ERROR(r.Read(&h.dst));
+  TS_RETURN_IF_ERROR(r.Read(&h.trace_id));
+  TS_RETURN_IF_ERROR(r.Read(&h.payload_len));
+  TS_RETURN_IF_ERROR(r.Read(&h.payload_crc));
+  uint32_t header_crc = 0;
+  TS_RETURN_IF_ERROR(r.Read(&header_crc));
+  if (magic != kFrameMagic) {
+    return Status::Corruption("frame: bad magic");
+  }
+  // The header CRC covers every byte before it, so it is checked
+  // before any field is trusted (a flipped version or length bit must
+  // not survive to the dispatch below).
+  if (Crc32c(data, kFrameHeaderBytes - 4) != header_crc) {
+    return Status::Corruption("frame: header checksum mismatch");
+  }
+  if (h.version != kFrameVersion) {
+    return Status::Corruption("frame: unsupported version");
+  }
+  if (h.channel > kWireChannelControl || reserved != 0) {
+    return Status::Corruption("frame: bad channel");
+  }
+  if (h.payload_len > kMaxFramePayload) {
+    return Status::Corruption("frame: payload too large");
+  }
+  *out = h;
+  return Status::OK();
+}
+
+Status VerifyFramePayload(const FrameHeader& header, const char* payload,
+                          size_t len) {
+  if (len != header.payload_len) {
+    return Status::Corruption("frame: payload length mismatch");
+  }
+  if (Crc32c(payload, len) != header.payload_crc) {
+    return Status::Corruption("frame: payload checksum mismatch");
+  }
+  return Status::OK();
+}
+
+Status DecodeFrame(const std::string& buf, FrameHeader* header,
+                   std::string* payload) {
+  TS_RETURN_IF_ERROR(ParseFrameHeader(buf.data(), buf.size(), header));
+  if (buf.size() - kFrameHeaderBytes != header->payload_len) {
+    return Status::Corruption("frame: trailing or missing payload bytes");
+  }
+  TS_RETURN_IF_ERROR(VerifyFramePayload(
+      *header, buf.data() + kFrameHeaderBytes, header->payload_len));
+  payload->assign(buf.data() + kFrameHeaderBytes, header->payload_len);
+  return Status::OK();
+}
+
+}  // namespace treeserver

@@ -1,0 +1,83 @@
+#ifndef TREESERVER_RPC_FRAME_H_
+#define TREESERVER_RPC_FRAME_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "rpc/transport.h"
+
+namespace treeserver {
+
+/// TCP wire frame (little-endian, 40-byte header + payload):
+///
+///   offset  size  field
+///        0     4  magic          0x54535246 ("TSRF")
+///        4     1  format version (kFrameVersion)
+///        5     1  channel        0 task, 1 data, 2 control
+///        6     2  reserved       must be 0
+///        8     4  msg_type       engine MsgType, or kCtrl* on control
+///       12     4  src rank       int32 (-1 = master)
+///       16     4  dst rank       int32 (-1 = master)
+///       20     8  trace_id       correlation id (not byte-accounted)
+///       28     4  payload_len    bytes following the header
+///       32     4  payload_crc32c CRC-32C of the payload bytes
+///       36     4  header_crc32c  CRC-32C of header bytes [0, 36)
+///
+/// The trailing header CRC covers every preceding header byte, so any
+/// single-bit corruption of the header is detected; the payload CRC
+/// covers the body. Decoders return Status and never crash on hostile
+/// bytes.
+inline constexpr uint32_t kFrameMagic = 0x54535246u;  // "TSRF"
+inline constexpr uint8_t kFrameVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 40;
+/// Upper bound on a frame payload; a length field above this is
+/// treated as corruption rather than attempted as an allocation.
+inline constexpr uint32_t kMaxFramePayload = 1u << 30;
+
+/// Wire values of the `channel` byte. kTask/kData mirror ChannelKind;
+/// control frames (handshake, heartbeat) never reach the engine.
+inline constexpr uint8_t kWireChannelTask = 0;
+inline constexpr uint8_t kWireChannelData = 1;
+inline constexpr uint8_t kWireChannelControl = 2;
+
+/// msg_type values used on the control channel.
+inline constexpr uint32_t kCtrlHello = 1;      // payload: i32 sender rank
+inline constexpr uint32_t kCtrlHeartbeat = 2;  // empty payload
+
+/// Parsed frame header, in host form.
+struct FrameHeader {
+  uint8_t version = kFrameVersion;
+  uint8_t channel = kWireChannelTask;
+  uint32_t msg_type = 0;
+  int32_t src = 0;
+  int32_t dst = 0;
+  uint64_t trace_id = 0;
+  uint32_t payload_len = 0;
+  uint32_t payload_crc = 0;
+};
+
+/// Appends one fully framed message (header + payload) to `out`.
+void AppendFrame(uint8_t wire_channel, const Message& msg, std::string* out);
+
+/// Convenience for control frames (hello / heartbeat).
+void AppendControlFrame(uint32_t ctrl_type, int src, int dst,
+                        const std::string& payload, std::string* out);
+
+/// Parses and validates the 40-byte header at `data` (`len` >=
+/// kFrameHeaderBytes). Checks magic, header CRC, version, channel and
+/// payload bound; never reads past `len`.
+Status ParseFrameHeader(const char* data, size_t len, FrameHeader* out);
+
+/// Verifies the payload bytes against the header's CRC.
+Status VerifyFramePayload(const FrameHeader& header, const char* payload,
+                          size_t len);
+
+/// Whole-buffer decode (tests, fuzzing): parses exactly one frame that
+/// must span the entire buffer.
+Status DecodeFrame(const std::string& buf, FrameHeader* header,
+                   std::string* payload);
+
+}  // namespace treeserver
+
+#endif  // TREESERVER_RPC_FRAME_H_

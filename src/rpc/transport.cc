@@ -1,0 +1,83 @@
+#include "rpc/transport.h"
+
+#include "common/logging.h"
+
+namespace treeserver {
+
+Transport::Transport(int num_workers)
+    : num_workers_(num_workers),
+      sent_(num_workers + 1),
+      recv_(num_workers + 1),
+      msgs_(num_workers + 1),
+      dropped_(num_workers + 1),
+      crashed_(num_workers + 1) {
+  TS_CHECK(num_workers > 0);
+  for (int i = 0; i <= num_workers; ++i) {
+    crashed_[i].store(false, std::memory_order_relaxed);
+  }
+}
+
+void Transport::AccountSend(ChannelKind channel, int src, int dst,
+                            uint64_t payload_bytes) {
+  AccountSendLocal(channel, src, payload_bytes);
+  AccountRecvLocal(dst, payload_bytes);
+}
+
+void Transport::AccountSendLocal(ChannelKind channel, int src,
+                                 uint64_t payload_bytes) {
+  const uint64_t bytes = payload_bytes + kHeaderBytes;
+  sent_[Index(src)].Add(bytes);
+  msgs_[Index(src)].Inc();
+  payload_bytes_[static_cast<int>(channel)].Add(bytes);
+}
+
+void Transport::AccountRecvLocal(int dst, uint64_t payload_bytes) {
+  recv_[Index(dst)].Add(payload_bytes + kHeaderBytes);
+}
+
+void Transport::AccountSendMicros(ChannelKind channel, uint64_t micros) {
+  send_micros_[static_cast<int>(channel)].Add(micros);
+}
+
+uint64_t Transport::total_bytes() const {
+  uint64_t total = 0;
+  for (const Counter& c : sent_) total += c.value();
+  return total;
+}
+
+uint64_t Transport::total_msgs_dropped() const {
+  uint64_t total = 0;
+  for (const Counter& c : dropped_) total += c.value();
+  return total;
+}
+
+void Transport::ResetCounters() {
+  for (Counter& c : sent_) c.Reset();
+  for (Counter& c : recv_) c.Reset();
+  for (Counter& c : msgs_) c.Reset();
+  for (Counter& c : dropped_) c.Reset();
+  for (Histogram& h : payload_bytes_) h.Reset();
+  for (Histogram& h : send_micros_) h.Reset();
+}
+
+NetworkStats Transport::GetStats() const {
+  NetworkStats stats;
+  stats.endpoints.resize(num_workers_ + 1);
+  for (int i = 0; i <= num_workers_; ++i) {
+    stats.endpoints[i].bytes_sent = sent_[i].value();
+    stats.endpoints[i].bytes_recv = recv_[i].value();
+    stats.endpoints[i].msgs_sent = msgs_[i].value();
+    stats.endpoints[i].msgs_dropped = dropped_[i].value();
+  }
+  stats.task_payload_bytes =
+      payload_bytes_[static_cast<int>(ChannelKind::kTask)].snapshot();
+  stats.data_payload_bytes =
+      payload_bytes_[static_cast<int>(ChannelKind::kData)].snapshot();
+  stats.task_send_micros =
+      send_micros_[static_cast<int>(ChannelKind::kTask)].snapshot();
+  stats.data_send_micros =
+      send_micros_[static_cast<int>(ChannelKind::kData)].snapshot();
+  return stats;
+}
+
+}  // namespace treeserver

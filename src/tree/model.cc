@@ -232,6 +232,35 @@ bool NodesEqual(const TreeModel& a, int32_t ia, const TreeModel& b,
 
 }  // namespace
 
+void TreeModel::Canonicalize() {
+  if (nodes_.size() <= 1) return;
+  std::vector<Node> out;
+  out.reserve(nodes_.size());
+  out.push_back(std::move(nodes_[0]));
+  // New ids of nodes whose children still need placing; a just-moved
+  // node's left/right still hold old ids until rewritten here. Left is
+  // pushed last (popped first), matching the serial trainer's DFS
+  // stack.
+  std::vector<int32_t> stack{0};
+  while (!stack.empty()) {
+    const int32_t new_id = stack.back();
+    stack.pop_back();
+    const int32_t old_left = out[new_id].left;
+    const int32_t old_right = out[new_id].right;
+    if (old_left < 0) continue;
+    const int32_t new_left = static_cast<int32_t>(out.size());
+    out.push_back(std::move(nodes_[old_left]));
+    const int32_t new_right = static_cast<int32_t>(out.size());
+    out.push_back(std::move(nodes_[old_right]));
+    out[new_id].left = new_left;
+    out[new_id].right = new_right;
+    stack.push_back(new_right);
+    stack.push_back(new_left);
+  }
+  TS_CHECK(out.size() == nodes_.size()) << "tree has unreachable nodes";
+  nodes_ = std::move(out);
+}
+
 bool TreeModel::StructurallyEqual(const TreeModel& other) const {
   if (kind_ != other.kind_ || num_classes_ != other.num_classes_) return false;
   if (nodes_.empty() || other.nodes_.empty()) {

@@ -105,6 +105,15 @@ class TreeModel {
   /// engine's output against the serial reference trainer).
   bool StructurallyEqual(const TreeModel& other) const;
 
+  /// Re-lays nodes_ into the serial trainer's creation order (children
+  /// appended when their parent splits, parents visited depth-first,
+  /// left first). The distributed master assembles nodes in task
+  /// completion order, which varies run to run and across transports;
+  /// canonicalizing on completion makes the serialized model a pure
+  /// function of the training inputs, so an in-process run, a TCP
+  /// cluster run, and the serial reference all emit identical bytes.
+  void Canonicalize();
+
  private:
   TaskKind kind_ = TaskKind::kClassification;
   int num_classes_ = 0;

@@ -30,6 +30,9 @@ echo "== serve smoke: quickstart example + quick serving bench =="
 ./build/examples/serve_quickstart
 ./build/bench/bench_serve --quick
 
+echo "== rpc smoke: quick transport bench =="
+./build/bench/bench_rpc --quick
+
 if [[ "$FAST" == "1" ]]; then
   echo "== skipping TSan pass (--fast) =="
   exit 0
@@ -39,8 +42,8 @@ echo "== tsan: configure + build =="
 cmake -B build-tsan -S . -DTS_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j
 
-echo "== tsan: concurrent_test + engine_stress_test + serve =="
+echo "== tsan: concurrent_test + engine_stress_test + serve + rpc =="
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/treeserver_tests \
-  --gtest_filter='BlockingQueue*:ConcurrentHashMap*:PlanDeque*:EngineStress*:InferenceServer*:ModelRegistry*'
+  --gtest_filter='BlockingQueue*:ConcurrentHashMap*:PlanDeque*:EngineStress*:InferenceServer*:ModelRegistry*:TcpTransport*:TcpCluster*'
 
 echo "== all checks passed =="

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Launches a 1-master / N-worker TreeServer cluster on localhost over
+# the TCP transport and trains one forest end-to-end.
+#
+# Usage:
+#   tools/launch_local_cluster.sh [num_workers] [base_port] [extra node
+#   flags...]
+#
+#   tools/launch_local_cluster.sh 4 7000 --trees=16 --rows=50000 \
+#       --out=/tmp/forest.bin
+#
+# The node binary is looked up in build/tools by default; override
+# with TREESERVER_NODE=/path/to/treeserver_node.
+set -euo pipefail
+
+WORKERS="${1:-4}"; shift || true
+BASE_PORT="${1:-7000}"; shift || true
+EXTRA=("$@")
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+NODE="${TREESERVER_NODE:-$ROOT/build/tools/treeserver_node}"
+if [[ ! -x "$NODE" ]]; then
+  echo "node binary not found at $NODE (build first, or set TREESERVER_NODE)" >&2
+  exit 1
+fi
+
+PEERS=""
+for ((i = 0; i < WORKERS; i++)); do
+  PEERS+="127.0.0.1:$((BASE_PORT + i)),"
+done
+PEERS+="127.0.0.1:$((BASE_PORT + WORKERS))"  # master last
+
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+}
+trap cleanup EXIT
+
+for ((i = 0; i < WORKERS; i++)); do
+  "$NODE" --rank="$i" --workers="$WORKERS" --peers="$PEERS" \
+    "${EXTRA[@]}" &
+  PIDS+=($!)
+done
+
+"$NODE" --rank=master --workers="$WORKERS" --peers="$PEERS" "${EXTRA[@]}"
+STATUS=$?
+
+for pid in "${PIDS[@]}"; do
+  wait "$pid" || true
+done
+PIDS=()
+exit "$STATUS"

@@ -1,0 +1,351 @@
+// Cluster node binary: runs one TreeServer rank (master or worker) of
+// a multi-process cluster over the TCP transport, or the whole job
+// in-process (--mode=inproc) as the byte-identical reference.
+//
+// Every rank regenerates the same synthetic table from (profile,
+// data-seed), mirroring a cluster whose workers load the same
+// partitioned input; determinism of the engine then makes the trained
+// forest independent of which transport carried the messages.
+//
+// Example (1 master + 2 workers on localhost):
+//   treeserver_node --rank=0 --workers=2 \
+//       --peers=127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7000 &
+//   treeserver_node --rank=1 --workers=2 --peers=... &
+//   treeserver_node --rank=master --workers=2 --peers=... --out=f.bin
+// (tools/launch_local_cluster.sh automates this.)
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "engine/cluster.h"
+#include "engine/master.h"
+#include "engine/stats_reporter.h"
+#include "engine/worker.h"
+#include "forest/forest.h"
+#include "rpc/tcp_transport.h"
+#include "table/datasets.h"
+
+namespace treeserver {
+namespace {
+
+struct NodeOptions {
+  // --rank=master | --rank=<worker id>; --mode=tcp | inproc.
+  int rank = kMasterRank;
+  bool inproc = false;
+  std::vector<std::string> peers;  // workers 0..n-1 then master
+
+  // Dataset (identical on every rank).
+  size_t rows = 20000;
+  int features = 20;
+  int categorical = 4;
+  int classes = 2;
+  uint64_t data_seed = 7;
+
+  // Job.
+  int trees = 8;
+  int max_depth = 8;
+  uint32_t min_leaf = 4;
+  double column_ratio = 1.0;
+  bool sqrt_columns = false;
+  uint64_t job_seed = 1;
+
+  // Engine.
+  EngineConfig engine;
+
+  // Transport.
+  int64_t heartbeat_ms = 50;
+  int miss_limit = 20;
+  int64_t wait_peers_ms = 30000;
+
+  std::string out;  // master: file for the serialized forest
+};
+
+bool ParseFlag(const std::string& arg, const std::string& name,
+               std::string* value) {
+  std::string prefix = "--" + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+std::vector<std::string> SplitCommas(const std::string& s) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= s.size()) {
+    size_t comma = s.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "treeserver_node: one rank of a multi-process TreeServer cluster\n"
+      "  --rank=master|<id>        rank this process hosts\n"
+      "  --workers=N               cluster size (default 4)\n"
+      "  --peers=h:p,...           worker addresses 0..N-1, then master\n"
+      "  --mode=tcp|inproc         inproc trains the reference in one\n"
+      "                            process and ignores --rank/--peers\n"
+      "  --port=P                  listen port (default: from --peers)\n"
+      "  --out=FILE                master: write the serialized forest\n"
+      "  --rows --features --categorical --classes --data-seed\n"
+      "  --trees --max-depth --min-leaf --column-ratio --sqrt-columns\n"
+      "  --job-seed --compers --replication --tau-d --tau-dfs\n"
+      "  --compress --stats-period --heartbeat-ms --miss-limit\n"
+      "  --wait-peers-ms\n");
+}
+
+bool ParseArgs(int argc, char** argv, NodeOptions* opt) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string v;
+    if (ParseFlag(arg, "rank", &v)) {
+      opt->rank = v == "master" ? kMasterRank : std::atoi(v.c_str());
+    } else if (ParseFlag(arg, "workers", &v)) {
+      opt->engine.num_workers = std::atoi(v.c_str());
+    } else if (ParseFlag(arg, "peers", &v)) {
+      opt->peers = SplitCommas(v);
+    } else if (ParseFlag(arg, "mode", &v)) {
+      if (v == "inproc") {
+        opt->inproc = true;
+      } else if (v != "tcp") {
+        std::fprintf(stderr, "unknown --mode=%s\n", v.c_str());
+        return false;
+      }
+    } else if (ParseFlag(arg, "out", &v)) {
+      opt->out = v;
+    } else if (ParseFlag(arg, "rows", &v)) {
+      opt->rows = static_cast<size_t>(std::atoll(v.c_str()));
+    } else if (ParseFlag(arg, "features", &v)) {
+      opt->features = std::atoi(v.c_str());
+    } else if (ParseFlag(arg, "categorical", &v)) {
+      opt->categorical = std::atoi(v.c_str());
+    } else if (ParseFlag(arg, "classes", &v)) {
+      opt->classes = std::atoi(v.c_str());
+    } else if (ParseFlag(arg, "data-seed", &v)) {
+      opt->data_seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "trees", &v)) {
+      opt->trees = std::atoi(v.c_str());
+    } else if (ParseFlag(arg, "max-depth", &v)) {
+      opt->max_depth = std::atoi(v.c_str());
+    } else if (ParseFlag(arg, "min-leaf", &v)) {
+      opt->min_leaf = static_cast<uint32_t>(std::atoi(v.c_str()));
+    } else if (ParseFlag(arg, "column-ratio", &v)) {
+      opt->column_ratio = std::atof(v.c_str());
+    } else if (ParseFlag(arg, "sqrt-columns", &v)) {
+      opt->sqrt_columns = v == "1" || v == "true";
+    } else if (ParseFlag(arg, "job-seed", &v)) {
+      opt->job_seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "compers", &v)) {
+      opt->engine.compers_per_worker = std::atoi(v.c_str());
+    } else if (ParseFlag(arg, "replication", &v)) {
+      opt->engine.replication = std::atoi(v.c_str());
+    } else if (ParseFlag(arg, "tau-d", &v)) {
+      opt->engine.tau_d = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "tau-dfs", &v)) {
+      opt->engine.tau_dfs = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "compress", &v)) {
+      opt->engine.compress_transfers = v == "1" || v == "true";
+    } else if (ParseFlag(arg, "stats-period", &v)) {
+      opt->engine.stats_period_ms = std::atoi(v.c_str());
+    } else if (ParseFlag(arg, "heartbeat-ms", &v)) {
+      opt->heartbeat_ms = std::atoll(v.c_str());
+    } else if (ParseFlag(arg, "miss-limit", &v)) {
+      opt->miss_limit = std::atoi(v.c_str());
+    } else if (ParseFlag(arg, "wait-peers-ms", &v)) {
+      opt->wait_peers_ms = std::atoll(v.c_str());
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      Usage();
+      return false;
+    }
+  }
+  return true;
+}
+
+DataTable MakeTable(const NodeOptions& opt) {
+  DatasetProfile profile;
+  profile.name = "cluster";
+  profile.rows = opt.rows;
+  profile.num_numeric = opt.features;
+  profile.num_categorical = opt.categorical;
+  profile.num_classes = opt.classes;
+  return GenerateTable(profile, opt.data_seed);
+}
+
+ForestJobSpec MakeJob(const NodeOptions& opt) {
+  ForestJobSpec spec;
+  spec.name = "cluster-job";
+  spec.num_trees = opt.trees;
+  spec.tree.max_depth = opt.max_depth;
+  spec.tree.min_leaf = opt.min_leaf;
+  spec.column_ratio = opt.column_ratio;
+  spec.sqrt_columns = opt.sqrt_columns;
+  spec.seed = opt.job_seed;
+  return spec;
+}
+
+bool WriteForest(const ForestModel& model, const std::string& path) {
+  BinaryWriter w;
+  model.Serialize(&w);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(w.buffer().data(), static_cast<std::streamsize>(w.size()));
+  return static_cast<bool>(out);
+}
+
+uint16_t PortOfPeerEntry(const NodeOptions& opt) {
+  size_t idx = opt.rank == kMasterRank
+                   ? static_cast<size_t>(opt.engine.num_workers)
+                   : static_cast<size_t>(opt.rank);
+  TS_CHECK(idx < opt.peers.size()) << "rank not covered by --peers";
+  const std::string& addr = opt.peers[idx];
+  size_t colon = addr.rfind(':');
+  TS_CHECK(colon != std::string::npos) << "bad peer address " << addr;
+  return static_cast<uint16_t>(std::atoi(addr.c_str() + colon + 1));
+}
+
+std::unique_ptr<TcpTransport> MakeTransport(const NodeOptions& opt) {
+  TcpTransportOptions topt;
+  topt.num_workers = opt.engine.num_workers;
+  topt.local_rank = opt.rank;
+  topt.listen_port = PortOfPeerEntry(opt);
+  topt.heartbeat_period_ms = opt.heartbeat_ms;
+  topt.heartbeat_miss_limit = opt.miss_limit;
+  return std::make_unique<TcpTransport>(topt);
+}
+
+int RunInproc(const NodeOptions& opt) {
+  TreeServerCluster cluster(MakeTable(opt), opt.engine);
+  ForestModel model = cluster.TrainForest(MakeJob(opt));
+  if (!opt.out.empty() && !WriteForest(model, opt.out)) {
+    std::fprintf(stderr, "cannot write %s\n", opt.out.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "inproc: trained %zu trees\n", model.num_trees());
+  return 0;
+}
+
+int RunMaster(const NodeOptions& opt) {
+  auto table = std::make_shared<const DataTable>(MakeTable(opt));
+  auto transport = MakeTransport(opt);
+  Master master(table, transport.get(), opt.engine);
+  transport->SetPeerDeadCallback([&](int rank) {
+    if (rank != kMasterRank) master.OnWorkerCrash(rank);
+  });
+  Status st = transport->ConnectPeers(opt.peers);
+  if (!st.ok()) {
+    std::fprintf(stderr, "master: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  if (!transport->WaitForPeers(opt.wait_peers_ms)) {
+    std::fprintf(stderr, "master: workers did not connect\n");
+    return 1;
+  }
+  std::unique_ptr<StatsReporter> reporter;
+  if (opt.engine.stats_period_ms > 0) {
+    reporter = std::make_unique<StatsReporter>(
+        [&] {
+          EngineStats stats;
+          stats.master = master.GetStats();
+          stats.network = transport->GetStats();
+          return stats;
+        },
+        opt.engine.stats_period_ms);
+    reporter->Start();
+  }
+  master.Start();
+  uint32_t job = master.Submit(MakeJob(opt));
+  ForestModel model = master.Wait(job);
+  if (reporter != nullptr) reporter->ReportNow("job-complete");
+  reporter.reset();
+  if (!opt.out.empty() && !WriteForest(model, opt.out)) {
+    std::fprintf(stderr, "master: cannot write %s\n", opt.out.c_str());
+    return 1;
+  }
+  for (int w = 0; w < opt.engine.num_workers; ++w) {
+    if (!transport->IsCrashed(w)) {
+      transport->Send(ChannelKind::kTask,
+                      Message{kMasterRank, w,
+                              static_cast<uint32_t>(MsgType::kShutdown), ""});
+    }
+  }
+  // Give the shutdown frames a moment to flush before tearing down.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  master.Stop();
+  transport->Shutdown();
+  std::fprintf(stderr, "master: trained %zu trees\n", model.num_trees());
+  return 0;
+}
+
+int RunWorker(const NodeOptions& opt) {
+  auto table = std::make_shared<const DataTable>(MakeTable(opt));
+  auto transport = MakeTransport(opt);
+  std::atomic<bool> master_dead{false};
+  transport->SetPeerDeadCallback([&](int rank) {
+    if (rank == kMasterRank) master_dead.store(true);
+  });
+  Status st = transport->ConnectPeers(opt.peers);
+  if (!st.ok()) {
+    std::fprintf(stderr, "worker %d: %s\n", opt.rank, st.ToString().c_str());
+    return 1;
+  }
+  if (!transport->WaitForPeers(opt.wait_peers_ms)) {
+    std::fprintf(stderr, "worker %d: peers did not connect\n", opt.rank);
+    return 1;
+  }
+  PeakGauge task_memory;
+  BusyClock busy;
+  Worker worker(opt.rank, table, transport.get(),
+                opt.engine.compers_per_worker, &task_memory, &busy,
+                opt.engine.compress_transfers);
+  worker.Start();
+  // The task loop exits (closing its queue) on the master's kShutdown;
+  // a dead master ends the process too.
+  while (!transport->task_queue(opt.rank).closed() && !master_dead.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  transport->CloseAll();
+  worker.Join();
+  transport->Shutdown();
+  std::fprintf(stderr, "worker %d: exiting (%s)\n", opt.rank,
+               master_dead.load() ? "master died" : "job done");
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  NodeOptions opt;
+  if (!ParseArgs(argc, argv, &opt)) return 1;
+  if (opt.inproc) return RunInproc(opt);
+  if (opt.peers.size() != static_cast<size_t>(opt.engine.num_workers) + 1) {
+    std::fprintf(stderr,
+                 "--peers must list %d addresses (workers then master)\n",
+                 opt.engine.num_workers + 1);
+    return 1;
+  }
+  return opt.rank == kMasterRank ? RunMaster(opt) : RunWorker(opt);
+}
+
+}  // namespace
+}  // namespace treeserver
+
+int main(int argc, char** argv) { return treeserver::Run(argc, argv); }
