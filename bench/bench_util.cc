@@ -54,6 +54,12 @@ BenchOptions BenchOptions::Parse(int argc, char** argv) {
       options.stats_period_ms = std::atoi(arg + 15);
     } else if (std::strcmp(arg, "--stats") == 0) {
       options.dump_metrics = true;
+    } else if (std::strcmp(arg, "--split-method=histogram") == 0) {
+      options.split_method = SplitMethod::kHistogram;
+    } else if (std::strcmp(arg, "--split-method=exact") == 0) {
+      options.split_method = SplitMethod::kExact;
+    } else if (std::strncmp(arg, "--max-bins=", 11) == 0) {
+      options.max_bins = std::atoi(arg + 11);
     }
   }
   if (!options.trace_out.empty() || options.dump_metrics) {

@@ -28,6 +28,11 @@ namespace bench {
 ///                      trace-event JSON file (open in Perfetto) at exit
 ///   --stats-period=MS  run the periodic engine stats reporter
 ///   --stats            dump the process metrics registry at exit
+///
+/// Split-kernel knobs:
+///
+///   --split-method=exact|histogram   numeric split kernel
+///   --max-bins=N                     histogram bin budget (default 255)
 struct BenchOptions {
   double scale = 0.0005;
   size_t min_rows = 3000;
@@ -37,6 +42,8 @@ struct BenchOptions {
   std::string trace_out;
   int stats_period_ms = 0;
   bool dump_metrics = false;
+  SplitMethod split_method = SplitMethod::kExact;
+  int max_bins = 255;
 
   static BenchOptions Parse(int argc, char** argv);
 };

@@ -244,6 +244,9 @@ void Master::AdmitTrees() {
       ts.ctx.max_depth = job.spec.tree.max_depth;
       ts.ctx.min_leaf = job.spec.tree.min_leaf;
       ts.ctx.extra_trees = job.spec.tree.extra_trees ? 1 : 0;
+      ts.ctx.split_method = static_cast<uint8_t>(job.spec.tree.split_method);
+      ts.ctx.max_bins = static_cast<uint16_t>(
+          std::max(2, std::min(65535, job.spec.tree.max_bins)));
       ts.rng = job.spec.TreeRng(ts.tree_index);
       ts.model = TreeModel(table_->schema().task_kind(),
                            table_->schema().num_classes());

@@ -8,6 +8,8 @@ void TaskContext::Serialize(BinaryWriter* w) const {
   w->Write(min_leaf);
   w->Write(extra_trees);
   w->Write(rng_seed);
+  w->Write(split_method);
+  w->Write(max_bins);
 }
 
 Status TaskContext::Deserialize(BinaryReader* r, TaskContext* out) {
@@ -16,6 +18,8 @@ Status TaskContext::Deserialize(BinaryReader* r, TaskContext* out) {
   TS_RETURN_IF_ERROR(r->Read(&out->min_leaf));
   TS_RETURN_IF_ERROR(r->Read(&out->extra_trees));
   TS_RETURN_IF_ERROR(r->Read(&out->rng_seed));
+  TS_RETURN_IF_ERROR(r->Read(&out->split_method));
+  TS_RETURN_IF_ERROR(r->Read(&out->max_bins));
   return Status::OK();
 }
 

@@ -50,6 +50,8 @@ struct TaskContext {
   uint32_t min_leaf = 1;      // τ_leaf
   uint8_t extra_trees = 0;    // completely-random mode
   uint64_t rng_seed = 0;      // per-task randomness (extra-trees)
+  uint8_t split_method = 0;   // SplitMethod enum (0 = exact)
+  uint16_t max_bins = 255;    // histogram-mode bin budget
 
   void Serialize(BinaryWriter* w) const;
   static Status Deserialize(BinaryReader* r, TaskContext* out);

@@ -4,6 +4,8 @@
 #include <cstdarg>
 #include <cstdio>
 
+#include "common/metrics_registry.h"
+
 namespace treeserver {
 
 namespace {
@@ -92,6 +94,19 @@ std::string FormatEngineStats(const EngineStats& stats) {
   AppendHistogramLine(&out, "data payload bytes", stats.network.data_payload_bytes);
   AppendHistogramLine(&out, "task send micros", stats.network.task_send_micros);
   AppendHistogramLine(&out, "data send micros", stats.network.data_send_micros);
+  // Split-kernel counters (process-global): how nodes found their
+  // splits — sorted exact scans vs histogram builds, and how many
+  // histograms were derived by sibling subtraction instead of built.
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  AppendF(&out,
+          "  split kernels: exact_sorts=%llu hist_builds=%llu "
+          "sibling_subs=%llu\n",
+          static_cast<unsigned long long>(
+              reg.GetCounter("split.exact_sorts")->value()),
+          static_cast<unsigned long long>(
+              reg.GetCounter("split.histogram_builds")->value()),
+          static_cast<unsigned long long>(
+              reg.GetCounter("split.sibling_subtractions")->value()));
   return out;
 }
 

@@ -503,6 +503,67 @@ void Worker::ComperLoop() {
   }
 }
 
+std::shared_ptr<const BinnedTable> Worker::GetBinned(int max_bins) {
+  std::lock_guard<std::mutex> lock(binned_mu_);
+  std::shared_ptr<const BinnedTable>& slot = binned_[max_bins];
+  if (slot == nullptr) slot = BinnedTable::Build(*table_, max_bins);
+  return slot;
+}
+
+SplitOutcome Worker::HistogramColumnSplit(const TaskPtr& task,
+                                          const ColumnTaskPlan& plan,
+                                          int32_t col, const BinnedColumn& bc,
+                                          const SplitContext& ctx,
+                                          const std::vector<uint32_t>& ix) {
+  // Only classification histograms go through the sibling cache:
+  // integer counts make `parent - sibling` bit-identical to a direct
+  // build, so a cache hit can never change the split outcome (and thus
+  // cannot perturb in-process vs TCP determinism). Regression sums
+  // would re-associate, so they are always built directly.
+  const bool cacheable = ctx.kind == TaskKind::kClassification;
+  NodeHistogram hist;
+  bool derived = false;
+  TaskPtr parent;
+  if (cacheable && plan.parent_worker == id_) {
+    parent = Find(plan.parent_task);
+  }
+  if (parent != nullptr) {
+    std::lock_guard<std::mutex> lock(parent->mu);
+    auto pit = parent->col_hists.find(col);
+    auto sit = parent->child_col_hists[1 - plan.side].find(col);
+    if (pit != parent->col_hists.end() &&
+        sit != parent->child_col_hists[1 - plan.side].end() &&
+        pit->second.CompatibleWith(sit->second)) {
+      hist = NodeHistogram::Subtract(pit->second, sit->second);
+      derived = true;
+    }
+  }
+  if (!derived) {
+    hist = NodeHistogram::Build(bc, *table_->target(), ctx, ix.data(),
+                                ix.size());
+  }
+  if (cacheable) {
+    if (parent != nullptr) {
+      std::lock_guard<std::mutex> lock(parent->mu);
+      auto inserted = parent->child_col_hists[plan.side].emplace(col, hist);
+      if (inserted.second) {
+        parent->ChargeMemory(static_cast<int64_t>(hist.ByteSize()));
+      }
+    }
+    {
+      // Park a copy on this task: if it becomes the delegate, its
+      // children's column tasks on this worker subtract instead of
+      // rebuilding. Freed with the task object (verdict or release).
+      std::lock_guard<std::mutex> lock(task->mu);
+      auto inserted = task->col_hists.emplace(col, hist);
+      if (inserted.second) {
+        task->ChargeMemory(static_cast<int64_t>(hist.ByteSize()));
+      }
+    }
+  }
+  return hist.BestSplit(bc, col, ctx);
+}
+
 void Worker::ComputeColumnTask(const TaskPtr& task) {
   ColumnTaskPlan plan;
   std::shared_ptr<std::vector<uint32_t>> ix;
@@ -527,6 +588,18 @@ void Worker::ComputeColumnTask(const TaskPtr& task) {
     for (int32_t col : plan.columns) {
       SplitOutcome o = FindRandomSplit(*table_->column(col), col, *target,
                                        ctx, ix->data(), ix->size(), &rng);
+      if (SplitBeats(o, resp.outcome)) resp.outcome = std::move(o);
+    }
+  } else if (plan.ctx.split_method ==
+             static_cast<uint8_t>(SplitMethod::kHistogram)) {
+    std::shared_ptr<const BinnedTable> binned = GetBinned(plan.ctx.max_bins);
+    for (int32_t col : plan.columns) {
+      const BinnedColumn* bc = binned->column(col);
+      SplitOutcome o =
+          bc != nullptr
+              ? HistogramColumnSplit(task, plan, col, *bc, ctx, *ix)
+              : FindBestSplit(*table_->column(col), col, *target, ctx,
+                              ix->data(), ix->size());
       if (SplitBeats(o, resp.outcome)) resp.outcome = std::move(o);
     }
   } else {
@@ -575,12 +648,23 @@ void Worker::ComputeSubtreeTask(const TaskPtr& task) {
   config.impurity = static_cast<Impurity>(plan.ctx.impurity);
   config.extra_trees = plan.ctx.extra_trees != 0;
   config.base_depth = plan.depth;
+  config.split_method = static_cast<SplitMethod>(plan.ctx.split_method);
+  config.max_bins = plan.ctx.max_bins;
   std::vector<int> candidates(plan.columns.begin(), plan.columns.end());
+  // Histogram mode: re-code the gathered subset against the global
+  // bin boundaries so the subtree splits on exactly the bins a
+  // full-table view would use.
+  std::shared_ptr<const BinnedTable> bound;
+  if (config.split_method == SplitMethod::kHistogram &&
+      !config.extra_trees) {
+    bound = BinnedTable::BindGathered(*GetBinned(config.max_bins), gathered,
+                                      candidates);
+  }
   std::vector<uint32_t> rows(ix->size());
   std::iota(rows.begin(), rows.end(), 0u);
   Rng rng(plan.ctx.rng_seed);
-  TreeModel subtree =
-      TrainTree(gathered, std::move(rows), candidates, config, &rng);
+  TreeModel subtree = TrainTree(gathered, std::move(rows), candidates, config,
+                                &rng, bound.get());
 
   SubtreeResult result;
   result.task_id = plan.task_id;

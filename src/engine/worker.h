@@ -12,7 +12,9 @@
 #include "concurrent/concurrent_hash_map.h"
 #include "engine/messages.h"
 #include "rpc/transport.h"
+#include "table/binned.h"
 #include "table/data_table.h"
+#include "tree/hist.h"
 
 namespace treeserver {
 
@@ -102,6 +104,15 @@ class Worker {
     std::shared_ptr<std::vector<uint32_t>> ix_right;
     std::vector<IxRequest> queued_requests;
 
+    // Histogram-mode sibling-subtraction cache (classification only,
+    // where integer counts make parent - sibling bit-identical to a
+    // direct build, so cache hits cannot perturb determinism). A
+    // column task parks its per-column histograms here; child column
+    // tasks running on this worker derive theirs from the delegate's
+    // parent histogram minus the sibling's, when both are present.
+    std::map<int32_t, NodeHistogram> col_hists;
+    std::map<int32_t, NodeHistogram> child_col_hists[2];  // by ChildSide
+
     // Task-memory accounting (Table III); released by the destructor.
     PeakGauge* memory_gauge = nullptr;
     int64_t mem_bytes = 0;
@@ -150,6 +161,19 @@ class Worker {
   void RequestIx(uint64_t parent_task, int parent_worker, uint8_t side,
                  uint64_t requester_task);
 
+  /// Lazily-built binned view of the full table, shared by every
+  /// histogram-mode task with the same bin budget.
+  std::shared_ptr<const BinnedTable> GetBinned(int max_bins);
+  /// Histogram split of one column for a column task: derives the
+  /// histogram from the parent delegate's cache when possible
+  /// (classification), else builds it, then registers it for siblings
+  /// and children. Returns the column's best split.
+  SplitOutcome HistogramColumnSplit(const TaskPtr& task,
+                                    const ColumnTaskPlan& plan, int32_t col,
+                                    const BinnedColumn& bc,
+                                    const SplitContext& ctx,
+                                    const std::vector<uint32_t>& ix);
+
   const int id_;
   const std::shared_ptr<const DataTable> table_;
   Transport* const network_;
@@ -161,6 +185,9 @@ class Worker {
   ConcurrentHashMap<uint64_t, TaskPtr> tasks_;
   BlockingQueue<ReadyTask> btask_;
   Counter computed_;
+
+  std::mutex binned_mu_;
+  std::map<int, std::shared_ptr<const BinnedTable>> binned_;  // by max_bins
 
   std::thread task_thread_;
   std::thread data_thread_;

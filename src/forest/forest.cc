@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "table/binned.h"
 
 namespace treeserver {
 
@@ -44,6 +45,8 @@ void ForestJobSpec::Serialize(BinaryWriter* w) const {
   w->Write(tree.min_leaf);
   w->Write(static_cast<uint8_t>(tree.impurity));
   w->Write(static_cast<uint8_t>(tree.extra_trees ? 1 : 0));
+  w->Write(static_cast<uint8_t>(tree.split_method));
+  w->Write(tree.max_bins);
   w->Write(column_ratio);
   w->Write(static_cast<uint8_t>(sqrt_columns ? 1 : 0));
   w->Write(seed);
@@ -60,6 +63,10 @@ Status ForestJobSpec::Deserialize(BinaryReader* r, ForestJobSpec* out) {
   out->tree.impurity = static_cast<Impurity>(impurity);
   TS_RETURN_IF_ERROR(r->Read(&extra));
   out->tree.extra_trees = extra != 0;
+  uint8_t split_method;
+  TS_RETURN_IF_ERROR(r->Read(&split_method));
+  out->tree.split_method = static_cast<SplitMethod>(split_method);
+  TS_RETURN_IF_ERROR(r->Read(&out->tree.max_bins));
   TS_RETURN_IF_ERROR(r->Read(&out->column_ratio));
   TS_RETURN_IF_ERROR(r->Read(&sqrt_cols));
   out->sqrt_columns = sqrt_cols != 0;
@@ -170,10 +177,18 @@ ForestModel TrainForestSerial(const DataTable& table,
   ForestModel model(schema.task_kind(), schema.num_classes());
   std::vector<TreeModel> trees(spec.num_trees);
 
+  // Histogram mode: bin the table once, shared read-only by all trees.
+  std::shared_ptr<const BinnedTable> binned;
+  if (spec.tree.split_method == SplitMethod::kHistogram &&
+      !spec.tree.extra_trees) {
+    binned = BinnedTable::Build(table, spec.tree.max_bins);
+  }
+
   auto train_one = [&](int t) {
     std::vector<int> candidates = spec.SampleColumns(schema, t);
     Rng rng = spec.TreeRng(t);
-    trees[t] = TrainTreeOnTable(table, candidates, spec.tree, &rng);
+    trees[t] = TrainTreeOnTable(table, candidates, spec.tree, &rng,
+                                binned.get());
   };
 
   if (num_threads <= 1 || spec.num_trees <= 1) {

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "common/metrics_registry.h"
 
 namespace treeserver {
 
@@ -112,6 +113,10 @@ Status SplitOutcome::Deserialize(BinaryReader* r, SplitOutcome* out) {
   return Status::OK();
 }
 
+const char* SplitMethodName(SplitMethod method) {
+  return method == SplitMethod::kHistogram ? "histogram" : "exact";
+}
+
 namespace {
 
 TargetStats MakeStats(const SplitContext& ctx) {
@@ -128,11 +133,10 @@ void AddRow(TargetStats* stats, const Column& target, uint32_t row) {
   }
 }
 
-// Fills the split condition's bookkeeping and computes the final gain
-// once the children (over non-missing rows) are known: missing rows
-// are routed to the larger child, then gain is measured over all rows.
-void Finish(const SplitContext& ctx, const TargetStats& missing,
-            SplitOutcome* out) {
+}  // namespace
+
+void FinishSplitOutcome(const SplitContext& ctx, const TargetStats& missing,
+                        SplitOutcome* out) {
   out->condition.missing_to_left =
       out->left_stats.Count() >= out->right_stats.Count();
   if (missing.Count() > 0) {
@@ -155,6 +159,8 @@ void Finish(const SplitContext& ctx, const TargetStats& missing,
   out->valid = true;
 }
 
+namespace {
+
 // ---------------------------------------------------------------------
 // Case 1 (Appendix B): ordinal attribute, any target. Sort the
 // non-missing (value, y) pairs and scan once, updating left/right
@@ -170,12 +176,47 @@ struct NumericPairReg {
   double y;
 };
 
+// Thread-local scratch arena for the exact kernels: the pair buffers
+// and per-category stat tables are reused across calls, so steady-state
+// split evaluation performs no heap allocation proportional to the node
+// size. Each comper thread owns one arena; kernels never nest.
+struct ExactScratch {
+  std::vector<NumericPairCls> cls_pairs;
+  std::vector<NumericPairReg> reg_pairs;
+  std::vector<ClassStats> per_cat_cls;
+  std::vector<RegStats> per_cat_reg;
+  std::vector<int32_t> seen;
+  std::vector<int32_t> order;
+  ClassStats left;
+  ClassStats right;
+  ClassStats total;
+  ClassStats best_left;
+};
+
+ExactScratch& Scratch() {
+  static thread_local ExactScratch s;
+  return s;
+}
+
+void ResetClassStats(ClassStats* s, int num_classes) {
+  s->counts.assign(num_classes, 0);
+  s->n = 0;
+}
+
+Counter* ExactSortsCounter() {
+  static Counter* const c =
+      MetricsRegistry::Global().GetCounter("split.exact_sorts");
+  return c;
+}
+
 SplitOutcome NumericBestClassification(const Column& feature, int column_index,
                                        const Column& target,
                                        const SplitContext& ctx,
                                        const uint32_t* rows, size_t n) {
   SplitOutcome out;
-  std::vector<NumericPairCls> pairs;
+  ExactScratch& s = Scratch();
+  std::vector<NumericPairCls>& pairs = s.cls_pairs;
+  pairs.clear();
   pairs.reserve(n);
   TargetStats missing = MakeStats(ctx);
   for (size_t i = 0; i < n; ++i) {
@@ -193,43 +234,46 @@ SplitOutcome NumericBestClassification(const Column& feature, int column_index,
             [](const NumericPairCls& a, const NumericPairCls& b) {
               return a.v < b.v;
             });
+  ExactSortsCounter()->Inc();
 
-  ClassStats left(ctx.num_classes);
-  ClassStats right(ctx.num_classes);
-  for (const NumericPairCls& p : pairs) right.Add(p.y);
+  ResetClassStats(&s.left, ctx.num_classes);
+  ResetClassStats(&s.total, ctx.num_classes);
+  for (const NumericPairCls& p : pairs) s.total.Add(p.y);
+  s.right = s.total;
+  ResetClassStats(&s.best_left, ctx.num_classes);
 
   double best_score = std::numeric_limits<double>::infinity();
   size_t best_idx = k;  // sentinel: no candidate
   const double kd = static_cast<double>(k);
   for (size_t i = 0; i + 1 < k; ++i) {
-    left.Add(pairs[i].y);
-    right.Remove(pairs[i].y);
+    s.left.Add(pairs[i].y);
+    s.right.Remove(pairs[i].y);
     if (pairs[i].v == pairs[i + 1].v) continue;
-    double score = (static_cast<double>(left.n) *
-                        left.ImpurityValue(ctx.impurity) +
-                    static_cast<double>(right.n) *
-                        right.ImpurityValue(ctx.impurity)) /
+    double score = (static_cast<double>(s.left.n) *
+                        s.left.ImpurityValue(ctx.impurity) +
+                    static_cast<double>(s.right.n) *
+                        s.right.ImpurityValue(ctx.impurity)) /
                    kd;
     if (score < best_score) {
       best_score = score;
       best_idx = i;
+      s.best_left = s.left;
     }
   }
   if (best_idx == k) return out;  // all values identical
 
   out.left_stats = MakeStats(ctx);
+  out.left_stats.cls = s.best_left;
   out.right_stats = MakeStats(ctx);
-  for (size_t i = 0; i < k; ++i) {
-    if (i <= best_idx) {
-      out.left_stats.cls.Add(pairs[i].y);
-    } else {
-      out.right_stats.cls.Add(pairs[i].y);
-    }
+  out.right_stats.cls = s.total;
+  for (size_t j = 0; j < s.best_left.counts.size(); ++j) {
+    out.right_stats.cls.counts[j] -= s.best_left.counts[j];
   }
+  out.right_stats.cls.n -= s.best_left.n;
   out.condition.column = column_index;
   out.condition.type = DataType::kNumeric;
   out.condition.threshold = pairs[best_idx].v;
-  Finish(ctx, missing, &out);
+  FinishSplitOutcome(ctx, missing, &out);
   return out;
 }
 
@@ -238,7 +282,9 @@ SplitOutcome NumericBestRegression(const Column& feature, int column_index,
                                    const SplitContext& ctx,
                                    const uint32_t* rows, size_t n) {
   SplitOutcome out;
-  std::vector<NumericPairReg> pairs;
+  ExactScratch& s = Scratch();
+  std::vector<NumericPairReg>& pairs = s.reg_pairs;
+  pairs.clear();
   pairs.reserve(n);
   TargetStats missing = MakeStats(ctx);
   for (size_t i = 0; i < n; ++i) {
@@ -256,10 +302,13 @@ SplitOutcome NumericBestRegression(const Column& feature, int column_index,
             [](const NumericPairReg& a, const NumericPairReg& b) {
               return a.v < b.v;
             });
+  ExactSortsCounter()->Inc();
 
+  RegStats total;
+  for (const NumericPairReg& p : pairs) total.Add(p.y);
   RegStats left;
-  RegStats right;
-  for (const NumericPairReg& p : pairs) right.Add(p.y);
+  RegStats right = total;
+  RegStats best_left;
 
   double best_score = std::numeric_limits<double>::infinity();
   size_t best_idx = k;
@@ -274,23 +323,21 @@ SplitOutcome NumericBestRegression(const Column& feature, int column_index,
     if (score < best_score) {
       best_score = score;
       best_idx = i;
+      best_left = left;
     }
   }
   if (best_idx == k) return out;
 
   out.left_stats = MakeStats(ctx);
+  out.left_stats.reg = best_left;
   out.right_stats = MakeStats(ctx);
-  for (size_t i = 0; i < k; ++i) {
-    if (i <= best_idx) {
-      out.left_stats.reg.Add(pairs[i].y);
-    } else {
-      out.right_stats.reg.Add(pairs[i].y);
-    }
-  }
+  out.right_stats.reg.n = total.n - best_left.n;
+  out.right_stats.reg.sum = total.sum - best_left.sum;
+  out.right_stats.reg.sum_sq = total.sum_sq - best_left.sum_sq;
   out.condition.column = column_index;
   out.condition.type = DataType::kNumeric;
   out.condition.threshold = pairs[best_idx].v;
-  Finish(ctx, missing, &out);
+  FinishSplitOutcome(ctx, missing, &out);
   return out;
 }
 
@@ -304,9 +351,15 @@ SplitOutcome CategoricalClassification(const Column& feature, int column_index,
                                        const SplitContext& ctx,
                                        const uint32_t* rows, size_t n) {
   SplitOutcome out;
+  ExactScratch& s = Scratch();
   const int32_t card = feature.cardinality();
-  std::vector<ClassStats> per_cat(card, ClassStats(ctx.num_classes));
-  ClassStats total(ctx.num_classes);
+  std::vector<ClassStats>& per_cat = s.per_cat_cls;
+  if (per_cat.size() < static_cast<size_t>(card)) per_cat.resize(card);
+  for (int32_t c = 0; c < card; ++c) {
+    ResetClassStats(&per_cat[c], ctx.num_classes);
+  }
+  ResetClassStats(&s.total, ctx.num_classes);
+  ClassStats& total = s.total;
   TargetStats missing = MakeStats(ctx);
   for (size_t i = 0; i < n; ++i) {
     uint32_t row = rows ? rows[i] : static_cast<uint32_t>(i);
@@ -320,7 +373,8 @@ SplitOutcome CategoricalClassification(const Column& feature, int column_index,
   }
   if (total.n < 2) return out;
 
-  std::vector<int32_t> seen;
+  std::vector<int32_t>& seen = s.seen;
+  seen.clear();
   for (int32_t c = 0; c < card; ++c) {
     if (per_cat[c].n > 0) seen.push_back(c);
   }
@@ -329,7 +383,7 @@ SplitOutcome CategoricalClassification(const Column& feature, int column_index,
   double best_score = std::numeric_limits<double>::infinity();
   int32_t best_cat = -1;
   const double total_n = static_cast<double>(total.n);
-  ClassStats rest(ctx.num_classes);
+  ClassStats& rest = s.left;
   for (int32_t c : seen) {
     rest = total;
     for (size_t j = 0; j < rest.counts.size(); ++j) {
@@ -359,8 +413,8 @@ SplitOutcome CategoricalClassification(const Column& feature, int column_index,
   out.condition.column = column_index;
   out.condition.type = DataType::kCategorical;
   out.condition.left_categories = {best_cat};
-  out.condition.seen_categories = std::move(seen);
-  Finish(ctx, missing, &out);
+  out.condition.seen_categories.assign(seen.begin(), seen.end());
+  FinishSplitOutcome(ctx, missing, &out);
   return out;
 }
 
@@ -375,8 +429,10 @@ SplitOutcome CategoricalRegression(const Column& feature, int column_index,
                                    const SplitContext& ctx,
                                    const uint32_t* rows, size_t n) {
   SplitOutcome out;
+  ExactScratch& s = Scratch();
   const int32_t card = feature.cardinality();
-  std::vector<RegStats> per_cat(card);
+  std::vector<RegStats>& per_cat = s.per_cat_reg;
+  per_cat.assign(card, RegStats());
   TargetStats missing = MakeStats(ctx);
   for (size_t i = 0; i < n; ++i) {
     uint32_t row = rows ? rows[i] : static_cast<uint32_t>(i);
@@ -388,13 +444,15 @@ SplitOutcome CategoricalRegression(const Column& feature, int column_index,
     }
   }
 
-  std::vector<int32_t> seen;
+  std::vector<int32_t>& seen = s.seen;
+  seen.clear();
   for (int32_t c = 0; c < card; ++c) {
     if (per_cat[c].n > 0) seen.push_back(c);
   }
   if (seen.size() < 2) return out;
 
-  std::vector<int32_t> order = seen;
+  std::vector<int32_t>& order = s.order;
+  order.assign(seen.begin(), seen.end());
   std::sort(order.begin(), order.end(), [&](int32_t a, int32_t b) {
     return per_cat[a].Mean() < per_cat[b].Mean();
   });
@@ -437,8 +495,8 @@ SplitOutcome CategoricalRegression(const Column& feature, int column_index,
   out.condition.column = column_index;
   out.condition.type = DataType::kCategorical;
   out.condition.left_categories = std::move(left_cats);
-  out.condition.seen_categories = std::move(seen);
-  Finish(ctx, missing, &out);
+  out.condition.seen_categories.assign(seen.begin(), seen.end());
+  FinishSplitOutcome(ctx, missing, &out);
   return out;
 }
 
@@ -504,7 +562,7 @@ SplitOutcome FindRandomSplit(const Column& feature, int column_index,
     out.condition.column = column_index;
     out.condition.type = DataType::kNumeric;
     out.condition.threshold = threshold;
-    Finish(ctx, missing, &out);
+    FinishSplitOutcome(ctx, missing, &out);
     return out;
   }
 
@@ -555,7 +613,7 @@ SplitOutcome FindRandomSplit(const Column& feature, int column_index,
   out.condition.type = DataType::kCategorical;
   out.condition.left_categories = std::move(left_cats);
   out.condition.seen_categories = std::move(seen);
-  Finish(ctx, missing, &out);
+  FinishSplitOutcome(ctx, missing, &out);
   return out;
 }
 

@@ -118,6 +118,26 @@ struct SplitContext {
   int num_classes = 0;
 };
 
+/// How numeric splits are found. kExact sorts the (value, y) pairs per
+/// node per column — the paper's exact-training guarantee and the
+/// default everywhere. kHistogram scans pre-binned columns
+/// (table/binned.h, tree/hist.h) in O(n + bins); with max_bins >= the
+/// number of distinct values it degenerates to the exact algorithm.
+enum class SplitMethod : uint8_t {
+  kExact = 0,
+  kHistogram = 1,
+};
+
+const char* SplitMethodName(SplitMethod method);
+
+/// Fills the split condition's missing-routing bookkeeping and computes
+/// the final gain once the children (over non-missing rows) are known:
+/// missing rows are routed to the larger child, then gain is measured
+/// over all rows. Shared by the exact, random, and histogram kernels so
+/// every split method agrees on missing handling and gain.
+void FinishSplitOutcome(const SplitContext& ctx, const TargetStats& missing,
+                        SplitOutcome* out);
+
 /// Target statistics over `rows` of the target column (`rows` may be
 /// nullptr to mean all rows [0, n)).
 TargetStats ComputeTargetStats(const Column& target, const SplitContext& ctx,

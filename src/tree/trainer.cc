@@ -6,6 +6,8 @@
 #include "common/logging.h"
 #include "common/metrics_registry.h"
 #include "common/trace.h"
+#include "table/binned.h"
+#include "tree/hist.h"
 
 namespace treeserver {
 
@@ -35,12 +37,34 @@ struct Frame {
   size_t begin;
   size_t end;
   int depth;  // local depth within this (sub)tree
+  // Histogram mode: this node's per-candidate-column histograms,
+  // derived from the parent by sibling subtraction. Null means "build
+  // from rows when (and if) the node is split".
+  std::shared_ptr<NodeHists> hists;
 };
+
+// Builds the per-column histograms of one node in a single O(n) pass
+// per binned column; unbinned (categorical) entries stay empty.
+std::shared_ptr<NodeHists> BuildNodeHists(const BinnedTable& binned,
+                                          const Column& target,
+                                          const std::vector<int>& candidates,
+                                          const SplitContext& ctx,
+                                          const uint32_t* rows, size_t n) {
+  auto hists = std::make_shared<NodeHists>(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const BinnedColumn* bc = binned.column(candidates[i]);
+    if (bc != nullptr) {
+      (*hists)[i] = NodeHistogram::Build(*bc, target, ctx, rows, n);
+    }
+  }
+  return hists;
+}
 
 SplitOutcome FindNodeSplit(const DataTable& table, const uint32_t* rows,
                            size_t n, const std::vector<int>& candidates,
                            const SplitContext& ctx, const TreeConfig& config,
-                           Rng* rng) {
+                           Rng* rng, const BinnedTable* binned,
+                           const NodeHists* hists) {
   const ColumnPtr& target = table.target();
   SplitOutcome best;
   if (config.extra_trees) {
@@ -57,9 +81,15 @@ SplitOutcome FindNodeSplit(const DataTable& table, const uint32_t* rows,
     }
     return best;
   }
-  for (int col : candidates) {
-    SplitOutcome outcome =
-        FindBestSplit(*table.column(col), col, *target, ctx, rows, n);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const int col = candidates[i];
+    const BinnedColumn* bc = binned ? binned->column(col) : nullptr;
+    SplitOutcome outcome;
+    if (bc != nullptr && hists != nullptr && !(*hists)[i].empty()) {
+      outcome = (*hists)[i].BestSplit(*bc, col, ctx);
+    } else {
+      outcome = FindBestSplit(*table.column(col), col, *target, ctx, rows, n);
+    }
     if (SplitBeats(outcome, best)) best = std::move(outcome);
   }
   return best;
@@ -69,10 +99,22 @@ SplitOutcome FindNodeSplit(const DataTable& table, const uint32_t* rows,
 
 TreeModel TrainTree(const DataTable& table, std::vector<uint32_t> rows,
                     const std::vector<int>& candidate_columns,
-                    const TreeConfig& config, Rng* rng) {
+                    const TreeConfig& config, Rng* rng,
+                    const BinnedTable* binned) {
   const Schema& schema = table.schema();
   SplitContext ctx{schema.task_kind(), config.impurity, schema.num_classes()};
   TreeModel model(ctx.kind, ctx.num_classes);
+  // Histogram mode: bin the table once if the caller didn't supply a
+  // pre-built view. Extra-trees has no sorted scan to replace, so it
+  // always uses the random kernel.
+  const bool hist_mode =
+      config.split_method == SplitMethod::kHistogram && !config.extra_trees;
+  std::shared_ptr<const BinnedTable> owned_binned;
+  if (hist_mode && binned == nullptr) {
+    owned_binned = BinnedTable::Build(table, config.max_bins);
+    binned = owned_binned.get();
+  }
+  if (!hist_mode) binned = nullptr;
   if (rows.empty()) {
     // Degenerate but well-defined: a single empty leaf.
     TreeModel::Node leaf;
@@ -107,6 +149,12 @@ TreeModel TrainTree(const DataTable& table, std::vector<uint32_t> rows,
     bool leaf = stats.IsPure() || n <= config.min_leaf ||
                 global_depth >= config.max_depth;
     if (!leaf) {
+      if (binned != nullptr && f.hists == nullptr) {
+        // Root (or a node whose histograms were skipped as a predicted
+        // leaf): build from its rows.
+        f.hists = BuildNodeHists(*binned, *target, candidate_columns, ctx,
+                                 row_ptr, n);
+      }
       SplitOutcome best;
       if (TraceEnabled()) {
         // Split-eval timing is trace-gated: when tracing is off the
@@ -117,14 +165,14 @@ TreeModel TrainTree(const DataTable& table, std::vector<uint32_t> rows,
         span.SetArg("rows", static_cast<int64_t>(n));
         auto start = std::chrono::steady_clock::now();
         best = FindNodeSplit(table, row_ptr, n, candidate_columns, ctx,
-                             config, rng);
+                             config, rng, binned, f.hists.get());
         split_eval_us->Add(static_cast<uint64_t>(
             std::chrono::duration_cast<std::chrono::microseconds>(
                 std::chrono::steady_clock::now() - start)
                 .count()));
       } else {
         best = FindNodeSplit(table, row_ptr, n, candidate_columns, ctx,
-                             config, rng);
+                             config, rng, binned, f.hists.get());
       }
       if (!best.valid || best.gain <= kMinSplitGain) {
         leaf = true;
@@ -169,11 +217,51 @@ TreeModel TrainTree(const DataTable& table, std::vector<uint32_t> rows,
         parent.split_gain = best.gain;
         parent.left = left_id;
         parent.right = right_id;
+
+        // Histogram mode: build only the smaller child's histograms
+        // and derive the larger sibling as parent - smaller. Which
+        // sibling is derived depends only on the partition sizes, so
+        // the (floating-point) results stay deterministic for a given
+        // row set. Children that the depth/min_leaf rules already make
+        // leaves skip histogram work entirely.
+        std::shared_ptr<NodeHists> left_hists;
+        std::shared_ptr<NodeHists> right_hists;
+        if (binned != nullptr) {
+          const size_t nl = mid - f.begin;
+          const size_t nr = f.end - mid;
+          const bool child_depth_ok =
+              config.base_depth + f.depth + 1 < config.max_depth;
+          const bool need_left = child_depth_ok && nl > config.min_leaf;
+          const bool need_right = child_depth_ok && nr > config.min_leaf;
+          if (need_left || need_right) {
+            const bool left_smaller = nl <= nr;
+            std::shared_ptr<NodeHists>& smaller =
+                left_smaller ? left_hists : right_hists;
+            std::shared_ptr<NodeHists>& larger =
+                left_smaller ? right_hists : left_hists;
+            smaller = BuildNodeHists(
+                *binned, *target, candidate_columns, ctx,
+                left_smaller ? row_ptr : rows.data() + mid,
+                left_smaller ? nl : nr);
+            if (left_smaller ? need_right : need_left) {
+              larger = std::make_shared<NodeHists>(candidate_columns.size());
+              for (size_t i = 0; i < candidate_columns.size(); ++i) {
+                if (!(*f.hists)[i].empty()) {
+                  (*larger)[i] =
+                      NodeHistogram::Subtract((*f.hists)[i], (*smaller)[i]);
+                }
+              }
+            }
+            if (left_smaller ? !need_left : !need_right) smaller.reset();
+          }
+        }
         // Right pushed first so the left child is processed next
         // (depth-first, left-to-right), matching B_plan's head-insert
         // order in the engine.
-        stack.push_back(Frame{right_id, mid, f.end, f.depth + 1});
-        stack.push_back(Frame{left_id, f.begin, mid, f.depth + 1});
+        stack.push_back(
+            Frame{right_id, mid, f.end, f.depth + 1, std::move(right_hists)});
+        stack.push_back(
+            Frame{left_id, f.begin, mid, f.depth + 1, std::move(left_hists)});
       }
     }
   }
@@ -182,10 +270,12 @@ TreeModel TrainTree(const DataTable& table, std::vector<uint32_t> rows,
 
 TreeModel TrainTreeOnTable(const DataTable& table,
                            const std::vector<int>& candidate_columns,
-                           const TreeConfig& config, Rng* rng) {
+                           const TreeConfig& config, Rng* rng,
+                           const BinnedTable* binned) {
   std::vector<uint32_t> rows(table.num_rows());
   for (size_t i = 0; i < rows.size(); ++i) rows[i] = static_cast<uint32_t>(i);
-  return TrainTree(table, std::move(rows), candidate_columns, config, rng);
+  return TrainTree(table, std::move(rows), candidate_columns, config, rng,
+                   binned);
 }
 
 }  // namespace treeserver

@@ -9,6 +9,8 @@
 
 namespace treeserver {
 
+class BinnedTable;
+
 /// Hyperparameters of a single decision tree.
 struct TreeConfig {
   /// d_max: maximum node depth measured from the (global) root.
@@ -22,6 +24,14 @@ struct TreeConfig {
   /// Depth of the subtree root inside the enclosing tree; subtree-tasks
   /// pass the node depth here so d_max keeps its global meaning.
   int base_depth = 0;
+  /// Numeric split kernel. kExact (default) preserves the paper's
+  /// exact-training guarantee; kHistogram scans pre-binned columns
+  /// with sibling subtraction (ignored in extra_trees mode, which has
+  /// no sorted scan to replace).
+  SplitMethod split_method = SplitMethod::kExact;
+  /// Bin budget per numeric column for kHistogram (clamped to
+  /// [2, 65535]; <= 255 bins keeps uint8 codes).
+  int max_bins = 255;
 };
 
 /// Exact, single-threaded decision tree training over the rows `rows`
@@ -32,14 +42,21 @@ struct TreeConfig {
 /// engine is validated against, and the code a subtree-task runs on
 /// its gathered D_x. Deterministic: identical inputs (and rng state,
 /// for extra-trees) give an identical tree.
+///
+/// In histogram mode `binned` supplies the pre-binned view of the
+/// table's numeric columns (a subtree task passes its gathered subset
+/// re-coded against the global boundaries); when nullptr it is built
+/// internally from `table` with `config.max_bins`.
 TreeModel TrainTree(const DataTable& table, std::vector<uint32_t> rows,
                     const std::vector<int>& candidate_columns,
-                    const TreeConfig& config, Rng* rng = nullptr);
+                    const TreeConfig& config, Rng* rng = nullptr,
+                    const BinnedTable* binned = nullptr);
 
 /// Trains over every row of the table.
 TreeModel TrainTreeOnTable(const DataTable& table,
                            const std::vector<int>& candidate_columns,
-                           const TreeConfig& config, Rng* rng = nullptr);
+                           const TreeConfig& config, Rng* rng = nullptr,
+                           const BinnedTable* binned = nullptr);
 
 /// Builds the node prediction fields (PMF/label or mean) from target
 /// statistics. Shared by the serial trainer and the engine's master.

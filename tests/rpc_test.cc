@@ -598,6 +598,33 @@ TEST(TcpClusterTest, TrainsByteIdenticalToInProcessAndSerial) {
       << "distributed forest must serialize identically to the serial one";
 }
 
+TEST(TcpClusterTest, HistogramModeTrainsByteIdenticalAcrossTransports) {
+  // Same parity contract as above, but with the histogram split kernel:
+  // classification histograms are integer counts, so every transport
+  // (and the worker-side sibling-subtraction cache) is bit-exact.
+  DataTable data = MakeClusterData(3000, 301);
+  const EngineConfig cfg = SmallClusterConfig(2);
+  ForestJobSpec spec = SmallJob();
+  spec.tree.split_method = SplitMethod::kHistogram;
+  spec.tree.max_bins = 64;
+
+  ForestModel tcp_forest;
+  {
+    TcpCluster cluster(MakeClusterData(3000, 301), cfg, 50, 20);
+    tcp_forest = cluster.Train(spec);
+  }
+  ASSERT_EQ(tcp_forest.num_trees(), spec.num_trees);
+
+  TreeServerCluster inproc(data, cfg);
+  ForestModel inproc_forest = inproc.Wait(inproc.Submit(spec));
+  EXPECT_EQ(SerializeForest(tcp_forest), SerializeForest(inproc_forest))
+      << "TCP and in-process histogram training must produce identical bytes";
+
+  ForestModel reference = TrainForestSerial(data, spec, 2);
+  EXPECT_EQ(SerializeForest(tcp_forest), SerializeForest(reference))
+      << "histogram-mode distributed forest must match the serial one";
+}
+
 TEST(TcpClusterTest, SurvivesKilledWorkerMidJob) {
   DataTable data = MakeClusterData(3000, 301);
   EngineConfig cfg = SmallClusterConfig(3);

@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
-# Tier-1 gate plus a ThreadSanitizer pass over the concurrency tests.
+# Tier-1 gate plus sanitizer passes.
 #
-#   tools/check.sh          # build + ctest + serve smoke + TSan concurrency pass
-#   tools/check.sh --fast   # skip the TSan pass
+#   tools/check.sh          # build + ctest + smoke + TSan + UBSan passes
+#   tools/check.sh --fast   # skip the sanitizer passes
 #
 # The TSan stage rebuilds into build-tsan/ with TS_SANITIZE=thread and
 # runs the concurrent-structure and engine-stress suites, which cover
-# every lock/atomic in the engine hot paths.
+# every lock/atomic in the engine hot paths. The UBSan stage rebuilds
+# into build-ubsan/ with TS_SANITIZE=undefined and runs the split-kernel
+# and trainer suites, which exercise the index/offset arithmetic of the
+# histogram and exact scratch kernels.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -34,7 +37,7 @@ echo "== rpc smoke: quick transport bench =="
 ./build/bench/bench_rpc --quick
 
 if [[ "$FAST" == "1" ]]; then
-  echo "== skipping TSan pass (--fast) =="
+  echo "== skipping sanitizer passes (--fast) =="
   exit 0
 fi
 
@@ -45,5 +48,14 @@ cmake --build build-tsan -j
 echo "== tsan: concurrent_test + engine_stress_test + serve + rpc =="
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/treeserver_tests \
   --gtest_filter='BlockingQueue*:ConcurrentHashMap*:PlanDeque*:EngineStress*:InferenceServer*:ModelRegistry*:TcpTransport*:TcpCluster*'
+
+echo "== ubsan: configure + build =="
+cmake -B build-ubsan -S . -DTS_SANITIZE=undefined >/dev/null
+cmake --build build-ubsan -j
+
+echo "== ubsan: split/histogram kernels + trainer + forest =="
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+  ./build-ubsan/tests/treeserver_tests \
+  --gtest_filter='Split*:Binned*:NodeHistogram*:Hist*:Trainer*:Forest*'
 
 echo "== all checks passed =="

@@ -58,6 +58,8 @@ struct NodeOptions {
   double column_ratio = 1.0;
   bool sqrt_columns = false;
   uint64_t job_seed = 1;
+  SplitMethod split_method = SplitMethod::kExact;
+  int max_bins = 255;
 
   // Engine.
   EngineConfig engine;
@@ -104,6 +106,11 @@ void Usage() {
       "                            process and ignores --rank/--peers\n"
       "  --port=P                  listen port (default: from --peers)\n"
       "  --out=FILE                master: write the serialized forest\n"
+      "  --split-method=exact|histogram\n"
+      "                            numeric split kernel (default exact;\n"
+      "                            histogram bins columns once and scans\n"
+      "                            O(bins) per node)\n"
+      "  --max-bins=N              histogram bin budget (default 255)\n"
       "  --rows --features --categorical --classes --data-seed\n"
       "  --trees --max-depth --min-leaf --column-ratio --sqrt-columns\n"
       "  --job-seed --compers --replication --tau-d --tau-dfs\n"
@@ -152,6 +159,17 @@ bool ParseArgs(int argc, char** argv, NodeOptions* opt) {
       opt->sqrt_columns = v == "1" || v == "true";
     } else if (ParseFlag(arg, "job-seed", &v)) {
       opt->job_seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "split-method", &v)) {
+      if (v == "histogram") {
+        opt->split_method = SplitMethod::kHistogram;
+      } else if (v == "exact") {
+        opt->split_method = SplitMethod::kExact;
+      } else {
+        std::fprintf(stderr, "unknown --split-method=%s\n", v.c_str());
+        return false;
+      }
+    } else if (ParseFlag(arg, "max-bins", &v)) {
+      opt->max_bins = std::atoi(v.c_str());
     } else if (ParseFlag(arg, "compers", &v)) {
       opt->engine.compers_per_worker = std::atoi(v.c_str());
     } else if (ParseFlag(arg, "replication", &v)) {
@@ -198,6 +216,8 @@ ForestJobSpec MakeJob(const NodeOptions& opt) {
   spec.num_trees = opt.trees;
   spec.tree.max_depth = opt.max_depth;
   spec.tree.min_leaf = opt.min_leaf;
+  spec.tree.split_method = opt.split_method;
+  spec.tree.max_bins = opt.max_bins;
   spec.column_ratio = opt.column_ratio;
   spec.sqrt_columns = opt.sqrt_columns;
   spec.seed = opt.job_seed;
