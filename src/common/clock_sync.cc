@@ -1,0 +1,22 @@
+#include "common/clock_sync.h"
+
+namespace treeserver {
+
+bool ComputeClockSample(uint64_t remote_send_ns, uint64_t echo_ns,
+                        uint64_t echo_elapsed_ns, uint64_t local_now_ns,
+                        ClockSample* out) {
+  if (echo_ns == 0) return false;  // nothing of ours echoed back yet
+  if (local_now_ns < echo_ns) return false;
+  const uint64_t turnaround = local_now_ns - echo_ns;
+  if (echo_elapsed_ns > turnaround) return false;  // non-causal
+  const int64_t rtt = static_cast<int64_t>(turnaround - echo_elapsed_ns);
+  // offset = remote clock - local clock, assuming a symmetric path:
+  // the remote stamped t_send roughly rtt/2 before local_now.
+  const int64_t offset = static_cast<int64_t>(remote_send_ns) + rtt / 2 -
+                         static_cast<int64_t>(local_now_ns);
+  out->rtt_ns = rtt;
+  out->offset_ns = offset;
+  return true;
+}
+
+}  // namespace treeserver

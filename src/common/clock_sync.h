@@ -1,0 +1,65 @@
+#ifndef TREESERVER_COMMON_CLOCK_SYNC_H_
+#define TREESERVER_COMMON_CLOCK_SYNC_H_
+
+#include <cstdint>
+
+namespace treeserver {
+
+/// One NTP-style clock measurement derived from a heartbeat exchange.
+///
+/// Every heartbeat carries (t_send, echo, echo_elapsed): the sender's
+/// trace-clock reading at transmit time, the t_send of the last
+/// heartbeat it received from us, and how long ago (on the sender's
+/// clock) that heartbeat arrived. From one inbound heartbeat the
+/// receiver recovers a round-trip time and an offset estimate without
+/// either side keeping per-request state:
+///
+///   rtt    = (now - echo) - echo_elapsed
+///   offset = t_send + rtt/2 - now        // remote clock - local clock
+///
+/// The offset sign convention: `offset_ns` is (remote trace clock) -
+/// (local trace clock), so a remote timestamp rebases into local time
+/// as `local_ts = remote_ts - offset_ns`.
+struct ClockSample {
+  int64_t rtt_ns = 0;
+  int64_t offset_ns = 0;
+};
+
+/// Computes one sample from an inbound heartbeat. Returns false when
+/// the exchange cannot yield a sample yet (no echo — e.g. the very
+/// first heartbeat, or a peer running an older wire format) or when
+/// the arithmetic is non-causal (clock glitch: negative RTT).
+bool ComputeClockSample(uint64_t remote_send_ns, uint64_t echo_ns,
+                        uint64_t echo_elapsed_ns, uint64_t local_now_ns,
+                        ClockSample* out);
+
+/// Keeps the best (minimum-RTT) sample seen so far: the sample with
+/// the smallest RTT has the tightest bound on the true offset, the
+/// classic NTP clock filter. Not thread-safe; callers serialize.
+class ClockOffsetEstimator {
+ public:
+  void AddSample(const ClockSample& sample) {
+    if (!has_offset_ || sample.rtt_ns < min_rtt_ns_) {
+      min_rtt_ns_ = sample.rtt_ns;
+      offset_ns_ = sample.offset_ns;
+      has_offset_ = true;
+    }
+    ++samples_;
+  }
+
+  bool has_offset() const { return has_offset_; }
+  /// (remote clock - local clock); valid only when has_offset().
+  int64_t offset_ns() const { return offset_ns_; }
+  int64_t min_rtt_ns() const { return min_rtt_ns_; }
+  uint64_t samples() const { return samples_; }
+
+ private:
+  bool has_offset_ = false;
+  int64_t offset_ns_ = 0;
+  int64_t min_rtt_ns_ = 0;
+  uint64_t samples_ = 0;
+};
+
+}  // namespace treeserver
+
+#endif  // TREESERVER_COMMON_CLOCK_SYNC_H_

@@ -1,0 +1,273 @@
+#include "common/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace treeserver {
+
+namespace {
+
+void SetSocketTimeout(int fd, int timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+bool SendAll(int fd, const std::string& buf) {
+  size_t off = 0;
+  while (off < buf.size()) {
+    ssize_t n = ::send(fd, buf.data() + off, buf.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Reads from `fd` until the header terminator (CRLFCRLF) or `limit`
+/// bytes; returns false on error/timeout before the terminator.
+bool ReadUntilHeaderEnd(int fd, std::string* buf, size_t limit) {
+  char chunk[1024];
+  while (buf->find("\r\n\r\n") == std::string::npos) {
+    if (buf->size() > limit) return false;
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    buf->append(chunk, static_cast<size_t>(n));
+  }
+  return true;
+}
+
+const char* StatusText(int code) {
+  switch (code) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    default:
+      return "Error";
+  }
+}
+
+std::string FormatResponse(const HttpResponse& resp) {
+  char head[256];
+  std::snprintf(head, sizeof(head),
+                "HTTP/1.1 %d %s\r\nContent-Type: %s\r\n"
+                "Content-Length: %zu\r\nConnection: close\r\n\r\n",
+                resp.status, StatusText(resp.status),
+                resp.content_type.c_str(), resp.body.size());
+  return std::string(head) + resp.body;
+}
+
+}  // namespace
+
+HttpServer::~HttpServer() { Stop(); }
+
+void HttpServer::Handle(const std::string& path, Handler handler) {
+  TS_CHECK(!thread_.joinable()) << "http: Handle() after Start()";
+  handlers_[path] = std::move(handler);
+}
+
+Status HttpServer::Start(const std::string& host, uint16_t port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(std::string("http: socket(): ") +
+                           std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("http: bad host " + host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status st = Status::IOError(std::string("http: bind(") + host + "): " +
+                                std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    Status st =
+        Status::IOError(std::string("http: listen(): ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+  stop_.store(false);
+  thread_ = std::thread(&HttpServer::AcceptLoop, this);
+  return Status::OK();
+}
+
+void HttpServer::Stop() {
+  if (stop_.exchange(true)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);  // wakes the blocked accept()
+  }
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void HttpServer::AcceptLoop() {
+  while (!stop_.load()) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listen socket shut down
+    }
+    if (stop_.load()) {
+      ::close(fd);
+      break;
+    }
+    SetSocketTimeout(fd, 2000);
+    ServeConnection(fd);
+    ::close(fd);
+  }
+}
+
+void HttpServer::ServeConnection(int fd) {
+  std::string req;
+  if (!ReadUntilHeaderEnd(fd, &req, 64 * 1024)) return;
+  // Request line: METHOD SP target SP version.
+  size_t line_end = req.find("\r\n");
+  std::string line = req.substr(0, line_end);
+  size_t sp1 = line.find(' ');
+  size_t sp2 = line.find(' ', sp1 == std::string::npos ? 0 : sp1 + 1);
+  HttpResponse resp;
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    resp.status = 400;
+    resp.body = "bad request\n";
+    SendAll(fd, FormatResponse(resp));
+    return;
+  }
+  const std::string method = line.substr(0, sp1);
+  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (method != "GET") {
+    resp.status = 405;
+    resp.body = "method not allowed\n";
+    SendAll(fd, FormatResponse(resp));
+    return;
+  }
+  std::string query;
+  size_t qmark = target.find('?');
+  if (qmark != std::string::npos) {
+    query = target.substr(qmark + 1);
+    target = target.substr(0, qmark);
+  }
+  auto it = handlers_.find(target);
+  if (it == handlers_.end()) {
+    resp.status = 404;
+    resp.body = "not found\n";
+  } else {
+    resp = it->second(query);
+  }
+  SendAll(fd, FormatResponse(resp));
+}
+
+Status HttpGet(const std::string& host, uint16_t port, const std::string& path,
+               std::string* body, int* status_code, int timeout_ms) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("http: socket(): ") +
+                           std::strerror(errno));
+  }
+  SetSocketTimeout(fd, timeout_ms);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("http: bad host " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status st = Status::IOError("http: connect " + host + ": " +
+                                std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  std::string req = "GET " + path + " HTTP/1.1\r\nHost: " + host +
+                    "\r\nConnection: close\r\n\r\n";
+  if (!SendAll(fd, req)) {
+    ::close(fd);
+    return Status::IOError("http: send failed");
+  }
+  // The server closes after one response, so read to EOF.
+  std::string raw;
+  char chunk[4096];
+  while (true) {
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status::IOError("http: recv failed");
+    }
+    if (n == 0) break;
+    raw.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  size_t header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string::npos || raw.rfind("HTTP/", 0) != 0) {
+    return Status::Corruption("http: malformed response");
+  }
+  size_t sp = raw.find(' ');
+  int code = sp == std::string::npos ? 0 : std::atoi(raw.c_str() + sp + 1);
+  if (status_code != nullptr) *status_code = code;
+  *body = raw.substr(header_end + 4);
+  return Status::OK();
+}
+
+int64_t CurrentRssBytes() {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  long long pages_total = 0, pages_rss = 0;
+  int parsed = std::fscanf(f, "%lld %lld", &pages_total, &pages_rss);
+  std::fclose(f);
+  if (parsed != 2) return 0;
+  return static_cast<int64_t>(pages_rss) *
+         static_cast<int64_t>(::sysconf(_SC_PAGESIZE));
+#else
+  return 0;
+#endif
+}
+
+}  // namespace treeserver

@@ -1,0 +1,80 @@
+#ifndef TREESERVER_COMMON_HTTP_SERVER_H_
+#define TREESERVER_COMMON_HTTP_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+
+namespace treeserver {
+
+/// Response returned by an HttpServer handler.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Minimal dependency-free HTTP/1.1 server for introspection endpoints
+/// (/metrics, /healthz, /statusz). GET-only, Connection: close, one
+/// accept thread serving requests inline — introspection traffic is a
+/// handful of small requests per second, so there is no connection
+/// pool to manage and no way for a scrape to perturb the engine's
+/// thread pools. A slow or stuck client is bounded by a socket receive
+/// timeout rather than blocking the server forever.
+class HttpServer {
+ public:
+  /// Handler for one path. Receives the query string (text after '?',
+  /// possibly empty) and returns the response.
+  using Handler = std::function<HttpResponse(const std::string& query)>;
+
+  HttpServer() = default;
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers `handler` for exact path `path` (e.g. "/metrics").
+  /// Call before Start().
+  void Handle(const std::string& path, Handler handler);
+
+  /// Binds and starts the accept thread. `port` 0 picks an ephemeral
+  /// port, readable afterwards via port().
+  Status Start(const std::string& host, uint16_t port);
+
+  /// Stops the accept thread and closes the listen socket. Idempotent.
+  void Stop();
+
+  uint16_t port() const { return port_; }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  std::map<std::string, Handler> handlers_;
+  std::atomic<bool> stop_{false};
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread thread_;
+};
+
+/// Blocking HTTP/1.1 GET against `host:port`. Fills `body` with the
+/// response body and returns the status code, or a non-OK Status on
+/// connect/parse failure. Used by treeserver_top and the CI smoke
+/// stages so the scripts need no curl.
+Status HttpGet(const std::string& host, uint16_t port, const std::string& path,
+               std::string* body, int* status_code = nullptr,
+               int timeout_ms = 5000);
+
+/// Resident-set size of the calling process in bytes (0 where
+/// /proc is unavailable). Reported in /statusz.
+int64_t CurrentRssBytes();
+
+}  // namespace treeserver
+
+#endif  // TREESERVER_COMMON_HTTP_SERVER_H_

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <cstdio>
 
+#include "common/metrics_registry.h"
+
 namespace treeserver {
 
 namespace {
@@ -50,11 +52,16 @@ const char* TraceCategoryName(TraceCat cat) {
       return "split-eval";
     case TraceCat::kServe:
       return "serve";
+    case TraceCat::kWatchdog:
+      return "watchdog";
   }
   return "?";
 }
 
-Tracer::Tracer() : epoch_ns_(SteadyNowNs()) {}
+Tracer::Tracer()
+    : epoch_ns_(SteadyNowNs()),
+      dropped_counter_(
+          MetricsRegistry::Global().GetCounter("trace.dropped_spans")) {}
 
 Tracer& Tracer::Global() {
   static Tracer* tracer = new Tracer;  // leaked: alive for worker threads
@@ -77,7 +84,15 @@ Tracer::ThreadBuffer* Tracer::LocalBuffer() {
 void Tracer::Append(TraceEvent event) {
   ThreadBuffer* buffer = LocalBuffer();
   event.tid = buffer->tid;
+  const size_t cap = max_events_per_thread_.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(buffer->mu);
+  if (buffer->events.size() >= cap) {
+    // Buffer full: drop loudly (counted) rather than silently
+    // overwriting history or growing without bound.
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    dropped_counter_->Inc();
+    return;
+  }
   buffer->events.push_back(event);
 }
 
@@ -147,74 +162,101 @@ void Tracer::Clear() {
     std::lock_guard<std::mutex> blk(b->mu);
     b->events.clear();
   }
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+void AppendChromeEventJson(const TraceEventCopy& e, int pid, int64_t shift_ns,
+                           std::string* out) {
+  char buf[160];
+  *out += "{\"name\":\"";
+  AppendEscaped(out, e.name.c_str());
+  *out += "\",\"cat\":\"";
+  AppendEscaped(out, TraceCategoryName(e.cat));
+  // Chrome trace timestamps are microseconds (fractional allowed).
+  const double ts_us =
+      static_cast<double>(static_cast<int64_t>(e.ts_ns) + shift_ns) / 1e3;
+  std::snprintf(buf, sizeof(buf),
+                "\",\"ph\":\"%c\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f", e.phase,
+                pid, e.tid, ts_us);
+  *out += buf;
+  if (e.phase == 'X') {
+    std::snprintf(buf, sizeof(buf), ",\"dur\":%.3f",
+                  static_cast<double>(e.dur_ns) / 1e3);
+    *out += buf;
+  }
+  if (e.phase == 'b' || e.phase == 'e') {
+    std::snprintf(buf, sizeof(buf), ",\"id\":\"0x%llx\"",
+                  static_cast<unsigned long long>(e.id));
+    *out += buf;
+  }
+  if (e.phase == 'i') *out += ",\"s\":\"t\"";
+  if (e.id != 0 || !e.arg_name.empty()) {
+    *out += ",\"args\":{";
+    bool first_arg = true;
+    if (e.id != 0) {
+      std::snprintf(buf, sizeof(buf), "\"id\":%llu",
+                    static_cast<unsigned long long>(e.id));
+      *out += buf;
+      first_arg = false;
+    }
+    if (!e.arg_name.empty()) {
+      if (!first_arg) *out += ",";
+      *out += "\"";
+      AppendEscaped(out, e.arg_name.c_str());
+      std::snprintf(buf, sizeof(buf), "\":%lld", static_cast<long long>(e.arg));
+      *out += buf;
+    }
+    *out += "}";
+  }
+  *out += "}";
+}
+
+std::vector<TraceEventCopy> Tracer::SnapshotEvents() const {
+  std::vector<TraceEventCopy> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& b : buffers_) {
+    std::lock_guard<std::mutex> blk(b->mu);
+    for (const TraceEvent& e : b->events) {
+      TraceEventCopy c;
+      c.name = e.name;
+      c.cat = e.cat;
+      c.phase = e.phase;
+      c.tid = e.tid;
+      c.ts_ns = e.ts_ns;
+      c.dur_ns = e.dur_ns;
+      c.id = e.id;
+      if (e.arg_name != nullptr) c.arg_name = e.arg_name;
+      c.arg = e.arg;
+      out.push_back(std::move(c));
+    }
+  }
+  return out;
 }
 
 std::string Tracer::ToChromeJson() const {
-  // Snapshot every buffer first so the export does not hold the
-  // registration lock while formatting.
-  std::vector<TraceEvent> events;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (const auto& b : buffers_) {
-      std::lock_guard<std::mutex> blk(b->mu);
-      events.insert(events.end(), b->events.begin(), b->events.end());
-    }
-  }
-
+  std::vector<TraceEventCopy> events = SnapshotEvents();
   std::string out;
   out.reserve(events.size() * 128 + 64);
   out += "{\"traceEvents\":[";
-  char buf[160];
   bool first = true;
-  for (const TraceEvent& e : events) {
+  for (const TraceEventCopy& e : events) {
     if (!first) out += ",";
     first = false;
-    out += "{\"name\":\"";
-    AppendEscaped(&out, e.name);
-    out += "\",\"cat\":\"";
-    AppendEscaped(&out, TraceCategoryName(e.cat));
-    // Chrome trace timestamps are microseconds (fractional allowed).
-    std::snprintf(buf, sizeof(buf),
-                  "\",\"ph\":\"%c\",\"pid\":1,\"tid\":%d,\"ts\":%.3f",
-                  e.phase, e.tid, static_cast<double>(e.ts_ns) / 1e3);
-    out += buf;
-    if (e.phase == 'X') {
-      std::snprintf(buf, sizeof(buf), ",\"dur\":%.3f",
-                    static_cast<double>(e.dur_ns) / 1e3);
-      out += buf;
-    }
-    if (e.phase == 'b' || e.phase == 'e') {
-      std::snprintf(buf, sizeof(buf), ",\"id\":\"0x%llx\"",
-                    static_cast<unsigned long long>(e.id));
-      out += buf;
-    }
-    if (e.phase == 'i') out += ",\"s\":\"t\"";
-    if (e.id != 0 || e.arg_name != nullptr) {
-      out += ",\"args\":{";
-      bool first_arg = true;
-      if (e.id != 0) {
-        std::snprintf(buf, sizeof(buf), "\"id\":%llu",
-                      static_cast<unsigned long long>(e.id));
-        out += buf;
-        first_arg = false;
-      }
-      if (e.arg_name != nullptr) {
-        if (!first_arg) out += ",";
-        out += "\"";
-        AppendEscaped(&out, e.arg_name);
-        std::snprintf(buf, sizeof(buf), "\":%lld",
-                      static_cast<long long>(e.arg));
-        out += buf;
-      }
-      out += "}";
-    }
-    out += "}";
+    AppendChromeEventJson(e, /*pid=*/1, /*shift_ns=*/0, &out);
   }
   out += "]}";
   return out;
 }
 
 Status Tracer::WriteChromeTrace(const std::string& path) const {
+  const uint64_t dropped = dropped_spans();
+  if (dropped > 0) {
+    std::fprintf(stderr,
+                 "[trace] warning: %llu spans dropped (per-thread buffer cap "
+                 "%zu reached); the exported trace is incomplete\n",
+                 static_cast<unsigned long long>(dropped),
+                 max_events_per_thread());
+  }
   std::string json = ToChromeJson();
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {

@@ -12,6 +12,8 @@
 
 namespace treeserver {
 
+class Counter;
+
 /// Small dense id for the calling thread, assigned on first use.
 /// Shared between the tracer ("tid" of every event) and the logger
 /// (log-line prefix) so multi-threaded logs correlate with trace spans.
@@ -30,6 +32,7 @@ enum class TraceCat : uint8_t {
   kTreeComplete = 6,  // tree flushed to its job
   kSplitEval = 7,     // serial trainer split evaluation
   kServe = 8,         // inference server batches / admission
+  kWatchdog = 9,      // slow-task watchdog flags (master)
 };
 
 const char* TraceCategoryName(TraceCat cat);
@@ -47,6 +50,27 @@ struct TraceEvent {
   const char* arg_name = nullptr;
   int64_t arg = 0;
 };
+
+/// A trace event with owned strings: the form that crosses process
+/// boundaries (worker -> master trace snapshots) where the literal
+/// pointers of TraceEvent mean nothing.
+struct TraceEventCopy {
+  std::string name;
+  TraceCat cat = TraceCat::kPlanInsert;
+  char phase = 'X';
+  int32_t tid = 0;
+  uint64_t ts_ns = 0;
+  uint64_t dur_ns = 0;
+  uint64_t id = 0;
+  std::string arg_name;  // empty = no argument
+  int64_t arg = 0;
+};
+
+/// Appends one Chrome trace-event JSON object (no surrounding comma)
+/// for `e`, placed in process lane `pid` with `shift_ns` added to its
+/// timestamp (clock rebasing for remote events).
+void AppendChromeEventJson(const TraceEventCopy& e, int pid, int64_t shift_ns,
+                           std::string* out);
 
 /// Process-wide low-overhead span tracer.
 ///
@@ -83,13 +107,35 @@ class Tracer {
 
   /// Merges every thread's buffer into Chrome trace-event JSON.
   std::string ToChromeJson() const;
-  /// Writes ToChromeJson() to `path`.
+  /// Writes ToChromeJson() to `path`. Warns (once per call, one line
+  /// on stderr) when spans were dropped to the buffer cap.
   Status WriteChromeTrace(const std::string& path) const;
+
+  /// Copies every buffered event into the owned-string form, for
+  /// shipping to another rank or merging across ranks.
+  std::vector<TraceEventCopy> SnapshotEvents() const;
 
   /// Total events currently buffered (all threads).
   size_t event_count() const;
-  /// Drops all buffered events (keeps the enabled flag).
+  /// Drops all buffered events (keeps the enabled flag) and zeroes the
+  /// local dropped-span count.
   void Clear();
+
+  /// Events silently discarded because a thread's buffer hit the cap,
+  /// since the last Clear(). The monotonic total is also exposed as
+  /// the `trace.dropped_spans` counter in the global MetricsRegistry.
+  uint64_t dropped_spans() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  /// Per-thread buffered-event cap (default 256K events per thread);
+  /// recording beyond it counts drops instead of growing without
+  /// bound.
+  void set_max_events_per_thread(size_t cap) {
+    max_events_per_thread_.store(cap, std::memory_order_relaxed);
+  }
+  size_t max_events_per_thread() const {
+    return max_events_per_thread_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct ThreadBuffer {
@@ -105,6 +151,9 @@ class Tracer {
 
   std::atomic<bool> enabled_{false};
   uint64_t epoch_ns_ = 0;
+  std::atomic<size_t> max_events_per_thread_{size_t{1} << 18};
+  std::atomic<uint64_t> dropped_{0};
+  Counter* dropped_counter_ = nullptr;  // trace.dropped_spans (global)
   mutable std::mutex mu_;  // guards buffers_ (registration + export)
   std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
 };

@@ -1,0 +1,121 @@
+#include "common/trace_merge.h"
+
+#include <cstdio>
+
+namespace treeserver {
+
+namespace {
+
+/// Cap mirroring kMaxFramePayload: a corrupt count must fail cleanly,
+/// not attempt a giant allocation.
+constexpr uint64_t kMaxSnapshotEvents = 64u << 20;
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+}
+
+/// Emits the 'M' metadata event naming a process lane.
+void AppendProcessNameEvent(int pid, const std::string& label,
+                            std::string* out) {
+  *out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":";
+  *out += std::to_string(pid);
+  *out += ",\"tid\":0,\"args\":{\"name\":\"";
+  AppendEscaped(out, label);
+  *out += "\"}}";
+}
+
+}  // namespace
+
+void SerializeTraceEvents(const std::vector<TraceEventCopy>& events,
+                          BinaryWriter* w) {
+  w->Write<uint64_t>(events.size());
+  for (const TraceEventCopy& e : events) {
+    w->WriteString(e.name);
+    w->Write<uint8_t>(static_cast<uint8_t>(e.cat));
+    w->Write<char>(e.phase);
+    w->Write<int32_t>(e.tid);
+    w->Write<uint64_t>(e.ts_ns);
+    w->Write<uint64_t>(e.dur_ns);
+    w->Write<uint64_t>(e.id);
+    w->WriteString(e.arg_name);
+    w->Write<int64_t>(e.arg);
+  }
+}
+
+Status DeserializeTraceEvents(BinaryReader* r,
+                              std::vector<TraceEventCopy>* out) {
+  uint64_t n = 0;
+  TS_RETURN_IF_ERROR(r->Read(&n));
+  if (n > kMaxSnapshotEvents) {
+    return Status::Corruption("trace snapshot: absurd event count");
+  }
+  out->clear();
+  out->reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    TraceEventCopy e;
+    uint8_t cat = 0;
+    TS_RETURN_IF_ERROR(r->ReadString(&e.name));
+    TS_RETURN_IF_ERROR(r->Read(&cat));
+    TS_RETURN_IF_ERROR(r->Read(&e.phase));
+    TS_RETURN_IF_ERROR(r->Read(&e.tid));
+    TS_RETURN_IF_ERROR(r->Read(&e.ts_ns));
+    TS_RETURN_IF_ERROR(r->Read(&e.dur_ns));
+    TS_RETURN_IF_ERROR(r->Read(&e.id));
+    TS_RETURN_IF_ERROR(r->ReadString(&e.arg_name));
+    TS_RETURN_IF_ERROR(r->Read(&e.arg));
+    e.cat = static_cast<TraceCat>(cat);
+    out->push_back(std::move(e));
+  }
+  return Status::OK();
+}
+
+std::string MergedChromeTraceJson(const std::vector<RankTrace>& ranks) {
+  size_t total = 0;
+  for (const RankTrace& rt : ranks) total += rt.events.size();
+  std::string out;
+  out.reserve(total * 128 + ranks.size() * 96 + 64);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  for (const RankTrace& rt : ranks) {
+    const int pid = TracePidForRank(rt.rank);
+    if (!first) out += ",";
+    first = false;
+    AppendProcessNameEvent(pid, rt.label, &out);
+    for (const TraceEventCopy& e : rt.events) {
+      out += ",";
+      // Rebase the remote clock into the merging rank's:
+      // local_ts = remote_ts - (remote - local).
+      AppendChromeEventJson(e, pid, -rt.clock_offset_ns, &out);
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+Status WriteMergedChromeTrace(const std::vector<RankTrace>& ranks,
+                              const std::string& path) {
+  uint64_t dropped = 0;
+  for (const RankTrace& rt : ranks) dropped += rt.dropped_spans;
+  if (dropped > 0) {
+    std::fprintf(stderr,
+                 "[trace] warning: %llu spans dropped across ranks; the "
+                 "merged trace is incomplete\n",
+                 static_cast<unsigned long long>(dropped));
+  }
+  std::string json = MergedChromeTraceJson(ranks);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open trace file: " + path);
+  }
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Status::IOError("short write to trace file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace treeserver

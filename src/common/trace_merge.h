@@ -1,0 +1,48 @@
+#ifndef TREESERVER_COMMON_TRACE_MERGE_H_
+#define TREESERVER_COMMON_TRACE_MERGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/serial.h"
+#include "common/status.h"
+#include "common/trace.h"
+
+namespace treeserver {
+
+/// One rank's contribution to a merged cluster trace: its snapshotted
+/// events, its drop count, and the estimated offset of its trace clock
+/// relative to the merging rank's (remote - local; 0 for the merging
+/// rank itself). Events are rebased with local_ts = ts - clock_offset.
+struct RankTrace {
+  int32_t rank = 0;  // kMasterRank or worker id
+  std::string label;  // process lane name ("master", "worker 3")
+  int64_t clock_offset_ns = 0;
+  uint64_t dropped_spans = 0;
+  std::vector<TraceEventCopy> events;
+};
+
+/// Chrome/Perfetto process-lane id for a rank: lanes must be small
+/// positive integers, so master (-1) maps to 1 and worker w to w + 2.
+inline int TracePidForRank(int32_t rank) { return rank + 2; }
+
+/// Serializes a snapshot of trace events (worker -> master payload).
+void SerializeTraceEvents(const std::vector<TraceEventCopy>& events,
+                          BinaryWriter* w);
+Status DeserializeTraceEvents(BinaryReader* r,
+                              std::vector<TraceEventCopy>* out);
+
+/// Merges per-rank traces into one Chrome trace-event JSON document:
+/// one process lane per rank (named via process_name metadata), all
+/// timestamps rebased into the merging rank's clock.
+std::string MergedChromeTraceJson(const std::vector<RankTrace>& ranks);
+
+/// Writes MergedChromeTraceJson to `path`; logs a one-line warning to
+/// stderr when any rank dropped spans.
+Status WriteMergedChromeTrace(const std::vector<RankTrace>& ranks,
+                              const std::string& path);
+
+}  // namespace treeserver
+
+#endif  // TREESERVER_COMMON_TRACE_MERGE_H_

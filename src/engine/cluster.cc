@@ -21,7 +21,8 @@ TreeServerCluster::TreeServerCluster(DataTable table, EngineConfig config)
     workers_.push_back(std::make_unique<Worker>(
         i, table_, network_.get(), config_.compers_per_worker,
         task_memory_.get(), busy_clocks_.back().get(),
-        config_.compress_transfers));
+        config_.compress_transfers,
+        i == config_.debug_slow_worker ? config_.debug_slow_task_ms : 0));
   }
   master_->Start();
   for (auto& w : workers_) w->Start();

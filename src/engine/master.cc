@@ -32,13 +32,23 @@ Master::Master(std::shared_ptr<const DataTable> table, Transport* network,
       task_latency_us_(
           MetricsRegistry::Global().GetHistogram("master.task_latency_us")),
       bplan_depth_(
-          MetricsRegistry::Global().GetHistogram("master.bplan_depth")) {}
+          MetricsRegistry::Global().GetHistogram("master.bplan_depth")),
+      column_latency_us_(MetricsRegistry::Global().GetHistogram(
+          "master.column_task_latency_us")),
+      subtree_latency_us_(MetricsRegistry::Global().GetHistogram(
+          "master.subtree_task_latency_us")),
+      slow_tasks_(MetricsRegistry::Global().GetCounter("engine.slow_tasks")),
+      sched_counter_(
+          MetricsRegistry::Global().GetCounter("engine.tasks_scheduled")) {}
 
 Master::~Master() { Stop(); }
 
 void Master::Start() {
   main_thread_ = std::thread(&Master::MainLoop, this);
   recv_thread_ = std::thread(&Master::RecvLoop, this);
+  if (config_.watchdog_period_ms > 0) {
+    watchdog_thread_ = std::thread(&Master::WatchdogLoop, this);
+  }
 }
 
 void Master::Stop() {
@@ -47,6 +57,11 @@ void Master::Stop() {
   // re-closing the queue here would kill the new master's channel.
   if (stopped_.exchange(true)) return;
   stop_.store(true);
+  {
+    std::lock_guard<std::mutex> lock(watchdog_mu_);
+    watchdog_cv_.notify_all();
+  }
+  if (watchdog_thread_.joinable()) watchdog_thread_.join();
   if (main_thread_.joinable()) main_thread_.join();
   // θ_recv blocks on the master queue; close it so the thread drains
   // pending results and exits.
@@ -107,7 +122,11 @@ void Master::ObserveTaskCompletion(const EntryPtr& entry) {
     task_id = entry->task_id;
     is_subtree = entry->is_subtree;
   }
-  if (sched_ns != 0) task_latency_us_->Add((NowNanos() - sched_ns) / 1000);
+  if (sched_ns != 0) {
+    const uint64_t us = (NowNanos() - sched_ns) / 1000;
+    task_latency_us_->Add(us);
+    (is_subtree ? subtree_latency_us_ : column_latency_us_)->Add(us);
+  }
   TraceAsyncEnd(is_subtree ? TraceCat::kSubtreeTask : TraceCat::kColumnTask,
                 "task", task_id);
 }
@@ -366,6 +385,7 @@ void Master::SchedulePlan(const Plan& plan) {
     }
   }
   tasks_scheduled_.Inc();
+  sched_counter_->Inc();
 
   // Crash window: if a worker we just involved died between the alive_
   // snapshot and now, its plan messages were dropped and no response
@@ -415,6 +435,9 @@ void Master::RecvLoop() {
         }
         break;
       }
+      case MsgType::kTraceSnapshot:
+        HandleTraceSnapshot(msg->payload);
+        break;
       default:
         TS_LOG(kError) << "master: unexpected msg type " << msg->type;
     }
@@ -704,6 +727,101 @@ void Master::NotifyChildDone(uint64_t parent_task) {
   }
 }
 
+// ---------------------------------------------------------------------
+// Observability: slow-task watchdog + cross-rank trace collection.
+// ---------------------------------------------------------------------
+
+void Master::WatchdogLoop() {
+  const auto period = std::chrono::milliseconds(config_.watchdog_period_ms);
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(watchdog_mu_);
+      watchdog_cv_.wait_for(lock, period, [&] { return stop_.load(); });
+    }
+    if (stop_.load()) return;
+
+    // Thresholds from the rolling per-kind latency distributions; the
+    // min_us floor covers cold histograms (p99 of nothing is 0).
+    const uint64_t column_p99 = column_latency_us_->snapshot().Percentile(0.99);
+    const uint64_t subtree_p99 =
+        subtree_latency_us_->snapshot().Percentile(0.99);
+    const double mult = config_.watchdog_multiplier;
+    const uint64_t column_limit =
+        std::max(static_cast<uint64_t>(mult * static_cast<double>(column_p99)),
+                 config_.watchdog_min_us);
+    const uint64_t subtree_limit =
+        std::max(static_cast<uint64_t>(mult * static_cast<double>(subtree_p99)),
+                 config_.watchdog_min_us);
+
+    const uint64_t now = NowNanos();
+    ttask_.ForEach([&](const uint64_t&, EntryPtr& e) {
+      std::lock_guard<std::mutex> lock(e->mu);
+      if (e->completed || e->slow_flagged || e->sched_ns == 0) return;
+      const uint64_t age_us = (now - e->sched_ns) / 1000;
+      const uint64_t limit = e->is_subtree ? subtree_limit : column_limit;
+      if (age_us <= limit) return;
+      e->slow_flagged = true;  // flag once per task
+      slow_tasks_->Inc();
+      TraceInstant(TraceCat::kWatchdog, "slow-task", e->task_id, "age_us",
+                   static_cast<int64_t>(age_us));
+      std::string ranks;
+      for (int w : e->workers) ranks += " w" + std::to_string(w);
+      TS_LOG(kWarn) << "master: slow " << (e->is_subtree ? "subtree" : "column")
+                    << "-task " << e->task_id << " tree " << e->tree_id
+                    << " age=" << age_us << "us limit=" << limit << "us on"
+                    << ranks;
+    });
+  }
+}
+
+int Master::RequestWorkerTraces() {
+  std::vector<int> targets;
+  {
+    std::lock_guard<std::mutex> lock(master_mu_);
+    for (int w = 0; w < config_.num_workers; ++w) {
+      if (alive_[w]) targets.push_back(w);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(trace_mu_);
+    worker_traces_.clear();
+    trace_expected_ = targets.size();
+  }
+  for (int w : targets) {
+    network_->Send(ChannelKind::kTrace,
+                   Message{kMasterRank, w,
+                           static_cast<uint32_t>(MsgType::kTraceRequest), ""});
+  }
+  return static_cast<int>(targets.size());
+}
+
+bool Master::WaitForWorkerTraces(int64_t timeout_ms) {
+  std::unique_lock<std::mutex> lock(trace_mu_);
+  return trace_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms), [&] {
+    return worker_traces_.size() >= trace_expected_;
+  });
+}
+
+std::vector<TraceSnapshotMsg> Master::TakeWorkerTraces() {
+  std::lock_guard<std::mutex> lock(trace_mu_);
+  trace_expected_ = 0;
+  return std::move(worker_traces_);
+}
+
+void Master::HandleTraceSnapshot(const std::string& payload) {
+  TraceSnapshotMsg snap;
+  if (Status st = TraceSnapshotMsg::Decode(payload, &snap); !st.ok()) {
+    TS_LOG(kError) << "master: bad trace snapshot: " << st.ToString();
+    return;
+  }
+  TS_LOG(kDebug) << "master: trace snapshot from w" << snap.worker << " ("
+                 << snap.events.size() << " events, " << snap.dropped
+                 << " dropped)";
+  std::lock_guard<std::mutex> lock(trace_mu_);
+  worker_traces_.push_back(std::move(snap));
+  trace_cv_.notify_all();
+}
+
 MasterStats Master::GetStats() const {
   MasterStats stats;
   stats.bplan_depth = bplan_.size();
@@ -722,6 +840,7 @@ MasterStats Master::GetStats() const {
   stats.tasks_scheduled = tasks_scheduled_.value();
   stats.trees_completed = trees_completed_.value();
   stats.trees_restarted = trees_restarted_.value();
+  stats.slow_tasks = slow_tasks_->value();
   stats.predicted_load.resize(config_.num_workers);
   for (int w = 0; w < config_.num_workers; ++w) {
     std::array<double, 3> l = load_.Get(w);

@@ -44,6 +44,22 @@ struct EngineConfig {
   /// (the default) disables the reporter. When enabled, an EngineStats
   /// snapshot is dumped to stderr every period and at job completion.
   int stats_period_ms = 0;
+  /// Slow-task watchdog cadence; every period the master scans T_task
+  /// and flags in-flight tasks older than
+  /// max(watchdog_multiplier × rolling p99 of their kind,
+  /// watchdog_min_us). 0 disables the watchdog thread.
+  int watchdog_period_ms = 500;
+  double watchdog_multiplier = 8.0;
+  /// Floor under the watchdog threshold. Task age runs schedule ->
+  /// completion, so it includes worker queue wait; the floor must sit
+  /// above normal cold-start queueing (empty latency histograms make
+  /// the p99 term useless early on) or healthy runs get flagged.
+  uint64_t watchdog_min_us = 2000000;
+  /// Test hooks: worker `debug_slow_worker` sleeps `debug_slow_task_ms`
+  /// before computing each task, making it a deterministic straggler
+  /// for the watchdog tests. -1 / 0 (defaults) disable the delay.
+  int debug_slow_worker = -1;
+  int debug_slow_task_ms = 0;
   uint64_t seed = 42;
 };
 
@@ -63,6 +79,8 @@ struct MasterStats {
   uint64_t tasks_scheduled = 0;
   uint64_t trees_completed = 0;
   uint64_t trees_restarted = 0;
+  /// In-flight tasks the watchdog has flagged as stragglers.
+  uint64_t slow_tasks = 0;
   /// Predicted per-worker load units from M_work (Section VI), to be
   /// compared against the actual per-worker bytes / busy-time.
   struct WorkerLoad {
@@ -130,6 +148,17 @@ class Master {
   /// values are individually coherent, not a linearizable cut.
   MasterStats GetStats() const;
 
+  /// Cross-rank trace aggregation: asks every live worker for a
+  /// tracer snapshot (kTraceRequest on the low-priority trace
+  /// channel). Returns the number of requests sent. Thread-safe, but
+  /// only one collection may be in flight at a time.
+  int RequestWorkerTraces();
+  /// Blocks until every requested snapshot arrived (or timeout).
+  bool WaitForWorkerTraces(int64_t timeout_ms);
+  /// Hands over the snapshots collected so far and resets the
+  /// collection state.
+  std::vector<TraceSnapshotMsg> TakeWorkerTraces();
+
  private:
   /// A node-task not yet assigned to workers.
   struct Plan {
@@ -158,6 +187,7 @@ class Master {
     uint8_t side = 0;
     int et_retries = 0;
     uint64_t sched_ns = 0;  // steady clock at SchedulePlan, for latency
+    bool slow_flagged = false;  // watchdog already reported this task
     std::vector<int> workers;
     int key_worker = -1;
     int pending = 0;
@@ -194,6 +224,8 @@ class Master {
 
   void MainLoop();
   void RecvLoop();
+  void WatchdogLoop();
+  void HandleTraceSnapshot(const std::string& payload);
 
   // θ_main helpers (master_mu_ NOT held unless stated).
   void AdmitTrees();  // requires master_mu_
@@ -248,14 +280,29 @@ class Master {
   Counter trees_completed_;
   Counter trees_restarted_;
 
-  // Shared-registry histograms (process-wide, survive the master).
+  // Shared-registry metrics (process-wide, survive the master).
   Histogram* const task_latency_us_;   // schedule -> completion
   Histogram* const bplan_depth_;       // sampled at every insert
+  // Per-kind latency histograms: the watchdog compares each in-flight
+  // task's age against its own kind's rolling p99.
+  Histogram* const column_latency_us_;
+  Histogram* const subtree_latency_us_;
+  Counter* const slow_tasks_;          // "engine.slow_tasks"
+  Counter* const sched_counter_;       // "engine.tasks_scheduled"
+
+  // Trace collection (guarded by trace_mu_).
+  std::mutex trace_mu_;
+  std::condition_variable trace_cv_;
+  std::vector<TraceSnapshotMsg> worker_traces_;
+  size_t trace_expected_ = 0;
 
   std::atomic<bool> stop_{false};
   std::atomic<bool> stopped_{false};  // Stop() runs once
   std::thread main_thread_;
   std::thread recv_thread_;
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
+  std::thread watchdog_thread_;
 };
 
 }  // namespace treeserver

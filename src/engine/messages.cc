@@ -1,5 +1,7 @@
 #include "engine/messages.h"
 
+#include "common/trace_merge.h"
+
 namespace treeserver {
 
 void TaskContext::Serialize(BinaryWriter* w) const {
@@ -381,6 +383,22 @@ Status ColumnDataResponse::Decode(const std::string& payload,
     TS_RETURN_IF_ERROR(DeserializeColumn(&r, &out->data[i]));
   }
   return Status::OK();
+}
+
+std::string TraceSnapshotMsg::Encode() const {
+  BinaryWriter w;
+  w.Write(worker);
+  w.Write(dropped);
+  SerializeTraceEvents(events, &w);
+  return w.Release();
+}
+
+Status TraceSnapshotMsg::Decode(const std::string& payload,
+                                TraceSnapshotMsg* out) {
+  BinaryReader r(payload);
+  TS_RETURN_IF_ERROR(r.Read(&out->worker));
+  TS_RETURN_IF_ERROR(r.Read(&out->dropped));
+  return DeserializeTraceEvents(&r, &out->events);
 }
 
 std::string TaskIdOnly::Encode() const {

@@ -7,6 +7,7 @@
 
 #include "common/serial.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "table/column.h"
 #include "tree/split.h"
 
@@ -33,6 +34,9 @@ enum class MsgType : uint32_t {
   kColumnDataResponse = 23,
   // Master-internal control (enqueued on the master's own queue).
   kWorkerCrashed = 30,
+  // Trace channel (observability; low priority on TCP).
+  kTraceRequest = 40,   // master -> worker: snapshot your tracer
+  kTraceSnapshot = 41,  // worker -> master: TraceSnapshotMsg
 };
 
 /// Which half of the parent's split a task's rows are.
@@ -185,6 +189,17 @@ struct ColumnDataResponse {
 
   std::string Encode() const;
   static Status Decode(const std::string& payload, ColumnDataResponse* out);
+};
+
+/// A worker's tracer snapshot, shipped to the master on the trace
+/// channel in answer to kTraceRequest (or unsolicited at job end).
+struct TraceSnapshotMsg {
+  int32_t worker = -1;
+  uint64_t dropped = 0;  // spans lost to the per-thread buffer cap
+  std::vector<TraceEventCopy> events;
+
+  std::string Encode() const;
+  static Status Decode(const std::string& payload, TraceSnapshotMsg* out);
 };
 
 /// Simple one-field bodies.

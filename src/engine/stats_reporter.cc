@@ -111,9 +111,17 @@ std::string FormatEngineStats(const EngineStats& stats) {
 }
 
 StatsReporter::StatsReporter(Source source, int period_ms)
-    : source_(std::move(source)), period_ms_(period_ms) {}
+    : source_(std::move(source)),
+      period_ms_(period_ms),
+      sink_([](const char* reason, const std::string& report) {
+        std::fprintf(stderr, "[stats-reporter %s]\n%s", reason,
+                     report.c_str());
+        std::fflush(stderr);
+      }) {}
 
 StatsReporter::~StatsReporter() { Stop(); }
+
+void StatsReporter::SetSink(Sink sink) { sink_ = std::move(sink); }
 
 void StatsReporter::Start() {
   thread_ = std::thread(&StatsReporter::Loop, this);
@@ -127,13 +135,18 @@ void StatsReporter::Stop() {
   }
   cv_.notify_all();
   if (thread_.joinable()) thread_.join();
+  // Clean-shutdown flush: a job that completes within the first period
+  // would otherwise leave no report at all.
+  if (reports_.load() == 0) ReportNow("final");
 }
 
 void StatsReporter::ReportNow(const char* reason) {
   std::string report = FormatEngineStats(source_());
-  std::fprintf(stderr, "[stats-reporter %s]\n%s", reason, report.c_str());
-  std::fflush(stderr);
+  reports_.fetch_add(1);
+  sink_(reason, report);
 }
+
+uint64_t StatsReporter::reports_emitted() const { return reports_.load(); }
 
 void StatsReporter::Loop() {
   std::unique_lock<std::mutex> lock(mu_);

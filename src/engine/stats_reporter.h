@@ -1,7 +1,9 @@
 #ifndef TREESERVER_ENGINE_STATS_REPORTER_H_
 #define TREESERVER_ENGINE_STATS_REPORTER_H_
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <string>
@@ -18,11 +20,16 @@ std::string FormatEngineStats(const EngineStats& stats);
 
 /// Periodic engine stats reporter (off by default; enabled via
 /// EngineConfig::stats_period_ms). Wakes every period, pulls a snapshot
-/// from its source, and writes the formatted report to stderr. The
-/// cluster also triggers ReportNow() when a job completes.
+/// from its source, and writes the formatted report to its sink
+/// (stderr by default). The cluster also triggers ReportNow() when a
+/// job completes, and Stop() emits one final report if none was ever
+/// produced — short jobs always leave at least one snapshot behind.
 class StatsReporter {
  public:
   using Source = std::function<EngineStats()>;
+  /// Receives each formatted report (reason, body). Tests install one
+  /// to capture output; the default writes to stderr.
+  using Sink = std::function<void(const char* reason, const std::string&)>;
 
   /// Does not start the thread; call Start().
   StatsReporter(Source source, int period_ms);
@@ -31,18 +38,28 @@ class StatsReporter {
   StatsReporter(const StatsReporter&) = delete;
   StatsReporter& operator=(const StatsReporter&) = delete;
 
+  /// Replaces the stderr sink. Must be called before Start().
+  void SetSink(Sink sink);
+
   void Start();
-  /// Idempotent; joins the reporter thread.
+  /// Idempotent; joins the reporter thread. Emits a "final" report
+  /// first when the reporter never got a chance to report (the job
+  /// finished inside the first period).
   void Stop();
 
   /// Dumps one report immediately (any thread).
   void ReportNow(const char* reason);
+
+  /// Reports emitted so far (periodic + on-demand + final).
+  uint64_t reports_emitted() const;
 
  private:
   void Loop();
 
   const Source source_;
   const int period_ms_;
+  Sink sink_;
+  std::atomic<uint64_t> reports_{0};
   std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;

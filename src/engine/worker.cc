@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/logging.h"
+#include "common/metrics_registry.h"
 #include "common/rng.h"
 #include "common/trace.h"
 #include "tree/trainer.h"
@@ -24,14 +25,18 @@ uint64_t NowNanos() {
 
 Worker::Worker(int id, std::shared_ptr<const DataTable> table,
                Transport* network, int num_compers, PeakGauge* task_memory,
-               BusyClock* busy_clock, bool compress_transfers)
+               BusyClock* busy_clock, bool compress_transfers,
+               int debug_slow_task_ms)
     : id_(id),
       table_(std::move(table)),
       network_(network),
       num_compers_(num_compers),
       task_memory_(task_memory),
       busy_clock_(busy_clock),
-      compress_transfers_(compress_transfers) {}
+      compress_transfers_(compress_transfers),
+      debug_slow_task_ms_(debug_slow_task_ms),
+      computed_counter_(
+          MetricsRegistry::Global().GetCounter("engine.tasks_computed")) {}
 
 Worker::~Worker() { Join(); }
 
@@ -119,6 +124,9 @@ void Worker::TaskLoop() {
         for (uint64_t key : keys) tasks_.Erase(key);
         break;
       }
+      case MsgType::kTraceRequest:
+        HandleTraceRequest();
+        break;
       case MsgType::kShutdown:
         network_->task_queue(id_).Close();
         break;
@@ -484,10 +492,25 @@ void Worker::CheckSubtreeReady(const TaskPtr& task, uint64_t task_id) {
 // Compers.
 // ---------------------------------------------------------------------
 
+void Worker::HandleTraceRequest() {
+  TraceSnapshotMsg snap;
+  snap.worker = id_;
+  snap.dropped = Tracer::Global().dropped_spans();
+  snap.events = Tracer::Global().SnapshotEvents();
+  network_->Send(ChannelKind::kTrace,
+                 Message{id_, kMasterRank,
+                         static_cast<uint32_t>(MsgType::kTraceSnapshot),
+                         snap.Encode()});
+}
+
 void Worker::ComperLoop() {
   while (auto ready = btask_.Pop()) {
     TaskPtr task = Find(ready->task_id);
     if (task == nullptr) continue;  // revoked while queued
+    if (debug_slow_task_ms_ > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(debug_slow_task_ms_));
+    }
     const bool is_column = ready->kind == TaskKindTag::kColumn;
     TraceSpan span(
         is_column ? TraceCat::kColumnTask : TraceCat::kSubtreeTask,
@@ -500,6 +523,7 @@ void Worker::ComperLoop() {
     }
     if (busy_clock_ != nullptr) busy_clock_->AddNanos(NowNanos() - start);
     computed_.Inc();
+    computed_counter_->Inc();
   }
 }
 

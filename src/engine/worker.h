@@ -46,9 +46,11 @@ struct WorkerStats {
 /// communication with computation.
 class Worker {
  public:
+  /// `debug_slow_task_ms` > 0 makes every task computation sleep that
+  /// long first — a deterministic straggler for watchdog tests.
   Worker(int id, std::shared_ptr<const DataTable> table, Transport* network,
          int num_compers, PeakGauge* task_memory, BusyClock* busy_clock,
-         bool compress_transfers = false);
+         bool compress_transfers = false, int debug_slow_task_ms = 0);
   ~Worker();
 
   Worker(const Worker&) = delete;
@@ -139,6 +141,9 @@ class Worker {
   void HandleTaskDelete(const std::string& payload);
   void HandleParentRelease(const std::string& payload);
   void HandleTreeRevoke(const std::string& payload);
+  /// Snapshots the process-global tracer and ships it to the master on
+  /// the low-priority trace channel (answer to kTraceRequest).
+  void HandleTraceRequest();
 
   // Data-channel handlers (θ_recv).
   void HandleIxRequest(const std::string& payload);
@@ -181,10 +186,12 @@ class Worker {
   PeakGauge* const task_memory_;
   BusyClock* const busy_clock_;
   const bool compress_transfers_;
+  const int debug_slow_task_ms_;
 
   ConcurrentHashMap<uint64_t, TaskPtr> tasks_;
   BlockingQueue<ReadyTask> btask_;
   Counter computed_;
+  Counter* const computed_counter_;  // "engine.tasks_computed"
 
   std::mutex binned_mu_;
   std::map<int, std::shared_ptr<const BinnedTable>> binned_;  // by max_bins

@@ -61,10 +61,12 @@ bool InProcessTransport::Send(ChannelKind channel, Message msg) {
     AccountSendMicros(channel, (NowNanos() - start_ns) / 1000);
   }
 
+  // Trace-channel messages ride the task queue: they are rare control
+  // traffic the worker's θ_main dispatches by MsgType.
   BlockingQueue<Message>& q =
       dst == kMasterRank ? *master_queue_
-                         : (channel == ChannelKind::kTask ? *task_queues_[dst]
-                                                          : *data_queues_[dst]);
+                         : (channel == ChannelKind::kData ? *data_queues_[dst]
+                                                          : *task_queues_[dst]);
   if (!q.Push(std::move(msg))) {
     CountDrop(dst);  // closed mailbox: receiver is gone
     return false;

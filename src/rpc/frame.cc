@@ -74,7 +74,7 @@ Status ParseFrameHeader(const char* data, size_t len, FrameHeader* out) {
   if (h.version != kFrameVersion) {
     return Status::Corruption("frame: unsupported version");
   }
-  if (h.channel > kWireChannelControl || reserved != 0) {
+  if (h.channel > kMaxWireChannel || reserved != 0) {
     return Status::Corruption("frame: bad channel");
   }
   if (h.payload_len > kMaxFramePayload) {

@@ -14,7 +14,7 @@ namespace treeserver {
 ///   offset  size  field
 ///        0     4  magic          0x54535246 ("TSRF")
 ///        4     1  format version (kFrameVersion)
-///        5     1  channel        0 task, 1 data, 2 control
+///        5     1  channel        0 task, 1 data, 2 control, 3 trace
 ///        6     2  reserved       must be 0
 ///        8     4  msg_type       engine MsgType, or kCtrl* on control
 ///       12     4  src rank       int32 (-1 = master)
@@ -35,15 +35,23 @@ inline constexpr size_t kFrameHeaderBytes = 40;
 /// treated as corruption rather than attempted as an allocation.
 inline constexpr uint32_t kMaxFramePayload = 1u << 30;
 
-/// Wire values of the `channel` byte. kTask/kData mirror ChannelKind;
+/// Wire values of the `channel` byte. kTask/kData/kTrace mirror
+/// ChannelKind (trace frames carry Tracer snapshots at low priority);
 /// control frames (handshake, heartbeat) never reach the engine.
 inline constexpr uint8_t kWireChannelTask = 0;
 inline constexpr uint8_t kWireChannelData = 1;
 inline constexpr uint8_t kWireChannelControl = 2;
+inline constexpr uint8_t kWireChannelTrace = 3;
+inline constexpr uint8_t kMaxWireChannel = kWireChannelTrace;
 
 /// msg_type values used on the control channel.
-inline constexpr uint32_t kCtrlHello = 1;      // payload: i32 sender rank
-inline constexpr uint32_t kCtrlHeartbeat = 2;  // empty payload
+inline constexpr uint32_t kCtrlHello = 1;  // payload: i32 sender rank
+/// Heartbeat payload (PR 6 onward): three u64 trace-clock readings
+/// (t_send, echo of the peer's last t_send, ns elapsed since that
+/// heartbeat arrived) from which the receiver derives an NTP-style
+/// RTT + clock-offset sample (common/clock_sync.h). Decoders accept an
+/// empty payload (pre-PR 6 heartbeats) and simply learn no offset.
+inline constexpr uint32_t kCtrlHeartbeat = 2;
 
 /// Parsed frame header, in host form.
 struct FrameHeader {

@@ -13,11 +13,24 @@
 
 #include "common/logging.h"
 #include "common/serial.h"
+#include "common/trace.h"
 #include "rpc/frame.h"
 
 namespace treeserver {
 
 namespace {
+
+uint8_t WireChannelFor(ChannelKind channel) {
+  switch (channel) {
+    case ChannelKind::kTask:
+      return kWireChannelTask;
+    case ChannelKind::kData:
+      return kWireChannelData;
+    case ChannelKind::kTrace:
+      return kWireChannelTrace;
+  }
+  return kWireChannelTask;
+}
 
 int64_t NowMs() {
   return std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -194,7 +207,8 @@ bool TcpTransport::WaitForPeers(int64_t timeout_ms) {
 // ---------------------------------------------------------------------
 
 bool TcpTransport::EnqueueFrame(Peer* peer, std::string bytes, bool control,
-                                bool bounded, uint64_t* wait_micros) {
+                                bool bounded, bool low_priority,
+                                uint64_t* wait_micros) {
   std::unique_lock<std::mutex> lock(peer->mu);
   if (bounded) {
     const uint64_t start = NowMicros();
@@ -210,7 +224,8 @@ bool TcpTransport::EnqueueFrame(Peer* peer, std::string bytes, bool control,
   if (peer->sendq_bytes > peer->sendq_hwm) {
     peer->sendq_hwm = peer->sendq_bytes;
   }
-  peer->sendq.push_back(OutFrame{std::move(bytes), control});
+  (low_priority ? peer->sendq_low : peer->sendq)
+      .push_back(OutFrame{std::move(bytes), control});
   lock.unlock();
   peer->cv.notify_all();
   return true;
@@ -231,21 +246,19 @@ bool TcpTransport::Send(ChannelKind channel, Message msg) {
   if (msg.dst == local_rank_) {
     // Self-delivery (e.g. the master's own crash notices) is free,
     // mirroring the in-process transport's local fast path.
-    uint8_t wire = channel == ChannelKind::kTask ? kWireChannelTask
-                                                 : kWireChannelData;
-    RouteInbound(std::move(msg), wire);
+    RouteInbound(std::move(msg), WireChannelFor(channel));
     return true;
   }
   TS_CHECK(started_.load()) << "Send before ConnectPeers";
   Peer* peer = PeerFor(msg.dst);
   std::string buf;
   buf.reserve(kFrameHeaderBytes + msg.payload.size());
-  AppendFrame(channel == ChannelKind::kTask ? kWireChannelTask
-                                            : kWireChannelData,
-              msg, &buf);
+  AppendFrame(WireChannelFor(channel), msg, &buf);
   uint64_t waited = 0;
-  const bool ok = EnqueueFrame(peer, std::move(buf), /*control=*/false,
-                               /*bounded=*/true, &waited);
+  const bool ok =
+      EnqueueFrame(peer, std::move(buf), /*control=*/false,
+                   /*bounded=*/true,
+                   /*low_priority=*/channel == ChannelKind::kTrace, &waited);
   AccountSendMicros(channel, waited);
   if (!ok) {
     CountDrop(msg.dst);
@@ -263,7 +276,9 @@ void TcpTransport::SenderLoop(Peer* peer) {
     int fd;
     {
       std::lock_guard<std::mutex> lock(peer->mu);
-      if (shutdown_.load() && peer->sendq.empty()) break;
+      if (shutdown_.load() && peer->sendq.empty() && peer->sendq_low.empty()) {
+        break;
+      }
       fd = peer->out_fd;
     }
     if (fd < 0) {
@@ -298,14 +313,23 @@ void TcpTransport::SenderLoop(Peer* peer) {
       }
     }
     OutFrame frame;
+    bool from_low = false;
     {
       std::unique_lock<std::mutex> lock(peer->mu);
       peer->cv.wait(lock, [&] {
-        return shutdown_.load() || peer->dead.load() || !peer->sendq.empty();
+        return shutdown_.load() || peer->dead.load() ||
+               !peer->sendq.empty() || !peer->sendq_low.empty();
       });
-      if (peer->sendq.empty()) continue;  // shutdown/dead: re-check loop
-      frame = std::move(peer->sendq.front());
-      peer->sendq.pop_front();
+      // Strict priority: the low lane (trace snapshots) only drains
+      // when no engine frame is waiting.
+      std::deque<OutFrame>* q =
+          !peer->sendq.empty() ? &peer->sendq
+                               : (!peer->sendq_low.empty() ? &peer->sendq_low
+                                                           : nullptr);
+      if (q == nullptr) continue;  // shutdown/dead: re-check loop
+      from_low = q == &peer->sendq_low;
+      frame = std::move(q->front());
+      q->pop_front();
       peer->sendq_bytes -= frame.bytes.size();
     }
     peer->cv.notify_all();  // wake producers blocked on the bound
@@ -317,7 +341,7 @@ void TcpTransport::SenderLoop(Peer* peer) {
       peer->out_fd = -1;
       ::close(fd);
       peer->sendq_bytes += frame.bytes.size();
-      peer->sendq.push_front(std::move(frame));
+      (from_low ? peer->sendq_low : peer->sendq).push_front(std::move(frame));
     }
   }
   std::lock_guard<std::mutex> lock(peer->mu);
@@ -358,14 +382,15 @@ void TcpTransport::ListenLoop() {
 
 void TcpTransport::RouteInbound(Message msg, uint8_t wire_channel) {
   // Mirrors the in-process transport: the master has one mailbox for
-  // both channels; workers split task and data traffic.
+  // every channel; workers split task and data traffic, with trace
+  // requests riding the task queue (θ_main dispatches by MsgType).
   BlockingQueue<Message>* queue;
   if (msg.dst == kMasterRank) {
     queue = &local_master_;
-  } else if (wire_channel == kWireChannelTask) {
-    queue = &local_task_;
-  } else {
+  } else if (wire_channel == kWireChannelData) {
     queue = &local_data_;
+  } else {
+    queue = &local_task_;
   }
   if (!queue->Push(std::move(msg))) {
     CountDrop(local_rank_);
@@ -416,7 +441,35 @@ void TcpTransport::ReadLoop(Conn* conn) {
       break;
     }
     PeerFor(src_rank)->last_heard_ms.store(NowMs());
-    if (h.channel == kWireChannelControl) continue;  // heartbeat
+    if (h.channel == kWireChannelControl) {
+      if (h.msg_type == kCtrlHeartbeat && payload.size() >= 3 * sizeof(uint64_t)) {
+        // Heartbeat with clock-sync payload: remember the peer's send
+        // stamp for echoing, and fold the exchange into the NTP-style
+        // offset estimate. Empty payloads (old format) just keep-alive.
+        Peer* peer = PeerFor(src_rank);
+        BinaryReader r(payload);
+        uint64_t t_send = 0, echo = 0, echo_elapsed = 0;
+        if (r.Read(&t_send).ok() && r.Read(&echo).ok() &&
+            r.Read(&echo_elapsed).ok()) {
+          const uint64_t now_ns = Tracer::Global().NowNs();
+          peer->last_hb_peer_ts.store(t_send, std::memory_order_relaxed);
+          peer->last_hb_rx_ns.store(now_ns, std::memory_order_relaxed);
+          ClockSample sample;
+          if (ComputeClockSample(t_send, echo, echo_elapsed, now_ns,
+                                 &sample)) {
+            // One inbound connection (and thus one reader) per peer, so
+            // the estimator needs no lock; results publish via atomics.
+            peer->clock_estimator.AddSample(sample);
+            peer->clock_offset_ns.store(peer->clock_estimator.offset_ns(),
+                                        std::memory_order_relaxed);
+            peer->clock_min_rtt_ns.store(peer->clock_estimator.min_rtt_ns(),
+                                         std::memory_order_relaxed);
+            peer->has_clock_offset.store(true, std::memory_order_release);
+          }
+        }
+      }
+      continue;
+    }
     if (h.dst != local_rank_) {
       TS_LOG(kError) << "rpc: dropping misrouted frame for rank " << h.dst;
       continue;
@@ -452,13 +505,25 @@ void TcpTransport::HeartbeatLoop() {
     const int64_t now = NowMs();
     for (auto& peer : peers_) {
       if (peer == nullptr || peer->dead.load()) continue;
+      // Clock-sync payload: our trace-clock now, the peer's last
+      // heartbeat stamp, and how long ago it arrived (both zero until
+      // the first one does).
+      const uint64_t echo =
+          peer->last_hb_peer_ts.load(std::memory_order_relaxed);
+      const uint64_t rx_ns =
+          peer->last_hb_rx_ns.load(std::memory_order_relaxed);
+      const uint64_t now_ns = Tracer::Global().NowNs();
+      BinaryWriter hb;
+      hb.Write<uint64_t>(now_ns);
+      hb.Write<uint64_t>(echo);
+      hb.Write<uint64_t>(echo == 0 || now_ns < rx_ns ? 0 : now_ns - rx_ns);
       std::string frame;
-      AppendControlFrame(kCtrlHeartbeat, local_rank_, peer->rank, "",
+      AppendControlFrame(kCtrlHeartbeat, local_rank_, peer->rank, hb.buffer(),
                          &frame);
-      // Heartbeats bypass the send bound: 40 bytes each, and blocking
+      // Heartbeats bypass the send bound: 64 bytes each, and blocking
       // the monitor on a backpressured peer would blind it.
       EnqueueFrame(peer.get(), std::move(frame), /*control=*/true,
-                   /*bounded=*/false, nullptr);
+                   /*bounded=*/false, /*low_priority=*/false, nullptr);
       if (!peer->ever_connected_in.load()) continue;  // startup grace
       if (now - peer->last_heard_ms.load() > opts_.heartbeat_period_ms) {
         peer->heartbeat_misses.fetch_add(1);
@@ -483,7 +548,9 @@ void TcpTransport::DeclareDead(Peer* peer, bool notify) {
     for (const OutFrame& f : peer->sendq) {
       if (!f.control) ++dropped;
     }
+    dropped += peer->sendq_low.size();
     peer->sendq.clear();
+    peer->sendq_low.clear();
     peer->sendq_bytes = 0;
     if (peer->out_fd >= 0) {
       ::shutdown(peer->out_fd, SHUT_RDWR);  // sender owns the close
@@ -582,6 +649,21 @@ void TcpTransport::Shutdown() {
     }
   }
   CloseAll();
+}
+
+bool TcpTransport::PeerClockOffset(int rank, int64_t* offset_ns,
+                                   int64_t* rtt_ns) const {
+  if (!started_.load() || rank == local_rank_) return false;
+  const Peer* peer = peers_[Index(rank)].get();
+  if (peer == nullptr ||
+      !peer->has_clock_offset.load(std::memory_order_acquire)) {
+    return false;
+  }
+  *offset_ns = peer->clock_offset_ns.load(std::memory_order_relaxed);
+  if (rtt_ns != nullptr) {
+    *rtt_ns = peer->clock_min_rtt_ns.load(std::memory_order_relaxed);
+  }
+  return true;
 }
 
 NetworkStats TcpTransport::GetStats() const {

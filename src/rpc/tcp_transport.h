@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/clock_sync.h"
 #include "common/status.h"
 #include "rpc/transport.h"
 
@@ -94,6 +95,14 @@ class TcpTransport : public Transport {
 
   NetworkStats GetStats() const override;
 
+  /// NTP-style clock-offset estimate for a remote peer, derived from
+  /// heartbeat RTTs: `offset_ns` receives (peer trace clock - local
+  /// trace clock) of the minimum-RTT sample, `rtt_ns` that RTT.
+  /// Returns false while no sample exists (peer never heartbeated, or
+  /// it speaks the pre-offset heartbeat format).
+  bool PeerClockOffset(int rank, int64_t* offset_ns,
+                       int64_t* rtt_ns = nullptr) const;
+
  private:
   struct OutFrame {
     std::string bytes;
@@ -112,7 +121,10 @@ class TcpTransport : public Transport {
     std::mutex mu;
     std::condition_variable cv;
     std::deque<OutFrame> sendq;
-    size_t sendq_bytes = 0;
+    /// Low-priority lane (trace snapshots): drained only when sendq is
+    /// empty, so observability traffic never delays engine messages.
+    std::deque<OutFrame> sendq_low;
+    size_t sendq_bytes = 0;  // covers both lanes (one shared bound)
     uint64_t sendq_hwm = 0;
     int out_fd = -1;               // guarded by mu
     bool ever_connected_out = false;  // guarded by mu
@@ -123,6 +135,17 @@ class TcpTransport : public Transport {
     std::atomic<uint64_t> heartbeat_misses{0};
     int consecutive_misses = 0;  // heartbeat thread only
     std::atomic<bool> dead{false};
+
+    /// Clock-sync state. The reader thread stamps the peer's last
+    /// heartbeat (its t_send, and our trace clock at arrival) for the
+    /// echo in our next outbound heartbeat, and publishes the
+    /// min-RTT offset estimate; estimator itself is reader-thread-only.
+    std::atomic<uint64_t> last_hb_peer_ts{0};
+    std::atomic<uint64_t> last_hb_rx_ns{0};
+    std::atomic<bool> has_clock_offset{false};
+    std::atomic<int64_t> clock_offset_ns{0};
+    std::atomic<int64_t> clock_min_rtt_ns{0};
+    ClockOffsetEstimator clock_estimator;  // reader thread only
 
     std::thread sender;
   };
@@ -151,7 +174,7 @@ class TcpTransport : public Transport {
   /// transport shut down first. `wait_micros` (optional) receives the
   /// backpressure stall.
   bool EnqueueFrame(Peer* peer, std::string bytes, bool control, bool bounded,
-                    uint64_t* wait_micros);
+                    bool low_priority, uint64_t* wait_micros);
   /// Marks a peer dead: drops its send buffer (counted), wakes blocked
   /// senders, tears the sockets down, and optionally fires the
   /// dead-peer callback.

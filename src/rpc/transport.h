@@ -31,12 +31,18 @@ struct Message {
   uint64_t trace_id = 0;
 };
 
-/// The two channel classes of Fig. 6: Task Comm (master <-> workers)
-/// and Data Comm (worker <-> worker).
+/// The two channel classes of Fig. 6 — Task Comm (master <-> workers)
+/// and Data Comm (worker <-> worker) — plus the low-priority trace
+/// channel that ships Tracer snapshots to the master for merged
+/// cluster traces. Trace traffic never competes with engine traffic:
+/// the TCP transport drains it only when the task/data queue is empty.
 enum class ChannelKind : uint8_t {
   kTask = 0,
   kData = 1,
+  kTrace = 2,
 };
+
+inline constexpr int kNumChannelKinds = 3;
 
 /// Point-in-time transport statistics (part of the EngineStats
 /// snapshot). Kept under its historical name: the engine grew up on
@@ -188,8 +194,8 @@ class Transport {
   std::vector<std::atomic<bool>> crashed_;
 
   // Per-channel distributions (index = ChannelKind).
-  Histogram payload_bytes_[2];
-  Histogram send_micros_[2];
+  Histogram payload_bytes_[kNumChannelKinds];
+  Histogram send_micros_[kNumChannelKinds];
 };
 
 }  // namespace treeserver

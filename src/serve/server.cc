@@ -4,6 +4,8 @@
 #include <chrono>
 #include <utility>
 
+#include "common/logging.h"
+#include "common/prometheus.h"
 #include "common/trace.h"
 
 namespace treeserver {
@@ -33,18 +35,49 @@ InferenceServer::InferenceServer(const ModelRegistry* registry,
 InferenceServer::~InferenceServer() { Stop(); }
 
 void InferenceServer::Start() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (started_ || stopping_) return;
-  started_ = true;
-  scheduler_ = std::thread(&InferenceServer::SchedulerLoop, this);
-  const int workers = std::max(1, config_.num_workers);
-  workers_.reserve(workers);
-  for (int i = 0; i < workers; ++i) {
-    workers_.emplace_back(&InferenceServer::WorkerLoop, this);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (started_ || stopping_) return;
+    started_ = true;
+    scheduler_ = std::thread(&InferenceServer::SchedulerLoop, this);
+    const int workers = std::max(1, config_.num_workers);
+    workers_.reserve(workers);
+    for (int i = 0; i < workers; ++i) {
+      workers_.emplace_back(&InferenceServer::WorkerLoop, this);
+    }
+  }
+  if (config_.http_port >= 0) {
+    http_ = std::make_unique<HttpServer>();
+    http_->Handle("/metrics", [this](const std::string&) {
+      HttpResponse resp;
+      resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+      resp.body = PrometheusExport(metrics_.Snapshot());
+      return resp;
+    });
+    http_->Handle("/healthz", [](const std::string&) {
+      HttpResponse resp;
+      resp.body = "ok\n";
+      return resp;
+    });
+    http_->Handle("/statusz", [this](const std::string&) {
+      HttpResponse resp;
+      resp.content_type = "application/json";
+      resp.body = "{\"role\":\"inference\",\"queue_depth\":" +
+                  std::to_string(queue_depth()) +
+                  ",\"rss_bytes\":" + std::to_string(CurrentRssBytes()) + "}\n";
+      return resp;
+    });
+    Status st = http_->Start(config_.http_host,
+                             static_cast<uint16_t>(config_.http_port));
+    if (!st.ok()) {
+      TS_LOG(kError) << "inference http: " << st.ToString();
+      http_.reset();
+    }
   }
 }
 
 void InferenceServer::Stop() {
+  if (http_ != nullptr) http_->Stop();
   std::vector<PendingRequest> orphaned;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -118,6 +151,10 @@ std::future<Result<Prediction>> InferenceServer::Predict(
 size_t InferenceServer::queue_depth() const {
   std::lock_guard<std::mutex> lock(mu_);
   return queue_.size();
+}
+
+uint16_t InferenceServer::http_port() const {
+  return http_ != nullptr ? http_->port() : 0;
 }
 
 void InferenceServer::SchedulerLoop() {

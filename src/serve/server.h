@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/http_server.h"
 #include "common/metrics_registry.h"
 #include "concurrent/blocking_queue.h"
 #include "serve/registry.h"
@@ -36,6 +37,11 @@ struct InferenceServerConfig {
   ///   serve.batch_rows                                  (histogram)
   ///   serve.latency_us.<model>                          (histograms)
   MetricsRegistry* metrics = nullptr;
+  /// Introspection HTTP port (-1 disables, 0 picks an ephemeral port;
+  /// read it back via InferenceServer::http_port()). Endpoints:
+  /// /metrics (Prometheus text), /healthz, /statusz (JSON).
+  int http_port = -1;
+  std::string http_host = "127.0.0.1";
 };
 
 /// One row-prediction request. The table is shared so the caller can
@@ -97,6 +103,9 @@ class InferenceServer {
   /// batched).
   size_t queue_depth() const;
 
+  /// Bound introspection port, or 0 when HTTP is disabled.
+  uint16_t http_port() const;
+
  private:
   struct PendingRequest {
     PredictRequest request;
@@ -131,6 +140,7 @@ class InferenceServer {
   std::thread scheduler_;
   BlockingQueue<Batch> batches_;
   std::vector<std::thread> workers_;
+  std::unique_ptr<HttpServer> http_;
 };
 
 }  // namespace treeserver

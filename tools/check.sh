@@ -36,6 +36,10 @@ echo "== serve smoke: quickstart example + quick serving bench =="
 echo "== rpc smoke: quick transport bench =="
 ./build/bench/bench_rpc --quick
 
+echo "== observability smoke: top self-test + overhead guard =="
+./build/tools/treeserver_top --self-test
+./build/bench/bench_micro --obs-overhead
+
 if [[ "$FAST" == "1" ]]; then
   echo "== skipping sanitizer passes (--fast) =="
   exit 0
@@ -45,9 +49,9 @@ echo "== tsan: configure + build =="
 cmake -B build-tsan -S . -DTS_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j
 
-echo "== tsan: concurrent_test + engine_stress_test + serve + rpc =="
+echo "== tsan: concurrent_test + engine_stress_test + serve + rpc + obs =="
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/treeserver_tests \
-  --gtest_filter='BlockingQueue*:ConcurrentHashMap*:PlanDeque*:EngineStress*:InferenceServer*:ModelRegistry*:TcpTransport*:TcpCluster*'
+  --gtest_filter='BlockingQueue*:ConcurrentHashMap*:PlanDeque*:EngineStress*:InferenceServer*:ModelRegistry*:TcpTransport*:TcpCluster*:HttpServer*:StatsReporter*:Watchdog*:TracerTest*'
 
 echo "== ubsan: configure + build =="
 cmake -B build-ubsan -S . -DTS_SANITIZE=undefined >/dev/null

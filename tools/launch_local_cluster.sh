@@ -15,7 +15,21 @@ set -euo pipefail
 
 WORKERS="${1:-4}"; shift || true
 BASE_PORT="${1:-7000}"; shift || true
-EXTRA=("$@")
+
+# `--http-port=P` is a base: rank i serves introspection HTTP on P+i,
+# the master on P+WORKERS (one process cannot share a listen port).
+HTTP_BASE=""
+EXTRA=()
+for arg in "$@"; do
+  case "$arg" in
+    --http-port=*) HTTP_BASE="${arg#--http-port=}" ;;
+    *) EXTRA+=("$arg") ;;
+  esac
+done
+
+http_flag() {  # http_flag <rank-index>
+  [[ -n "$HTTP_BASE" ]] && echo "--http-port=$((HTTP_BASE + $1))"
+}
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 NODE="${TREESERVER_NODE:-$ROOT/build/tools/treeserver_node}"
@@ -40,11 +54,12 @@ trap cleanup EXIT
 
 for ((i = 0; i < WORKERS; i++)); do
   "$NODE" --rank="$i" --workers="$WORKERS" --peers="$PEERS" \
-    "${EXTRA[@]}" &
+    ${EXTRA[@]+"${EXTRA[@]}"} $(http_flag "$i") &
   PIDS+=($!)
 done
 
-"$NODE" --rank=master --workers="$WORKERS" --peers="$PEERS" "${EXTRA[@]}"
+"$NODE" --rank=master --workers="$WORKERS" --peers="$PEERS" \
+  ${EXTRA[@]+"${EXTRA[@]}"} $(http_flag "$WORKERS")
 STATUS=$?
 
 for pid in "${PIDS[@]}"; do

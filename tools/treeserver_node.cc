@@ -21,12 +21,17 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/http_server.h"
 #include "common/logging.h"
+#include "common/prometheus.h"
+#include "common/trace.h"
+#include "common/trace_merge.h"
 #include "engine/cluster.h"
 #include "engine/master.h"
 #include "engine/stats_reporter.h"
@@ -70,6 +75,11 @@ struct NodeOptions {
   int64_t wait_peers_ms = 30000;
 
   std::string out;  // master: file for the serialized forest
+
+  // Observability.
+  int http_port = -1;     // -1 off, 0 ephemeral, else fixed
+  bool trace = false;     // enable the process tracer
+  std::string trace_out;  // master: merged Chrome trace JSON path
 };
 
 bool ParseFlag(const std::string& arg, const std::string& name,
@@ -115,7 +125,16 @@ void Usage() {
       "  --trees --max-depth --min-leaf --column-ratio --sqrt-columns\n"
       "  --job-seed --compers --replication --tau-d --tau-dfs\n"
       "  --compress --stats-period --heartbeat-ms --miss-limit\n"
-      "  --wait-peers-ms\n");
+      "  --wait-peers-ms\n"
+      "  --http-port=P             introspection HTTP endpoint (/metrics,\n"
+      "                            /healthz, /statusz); -1 off (default),\n"
+      "                            0 ephemeral\n"
+      "  --trace=1                 enable the process tracer\n"
+      "  --trace-out=FILE          master: collect every rank's trace and\n"
+      "                            write one merged Chrome trace JSON\n"
+      "  --watchdog-period=MS      slow-task watchdog cadence (master)\n"
+      "  --debug-slow-worker=W --debug-slow-task-ms=MS\n"
+      "                            delay every task on worker W (tests)\n");
 }
 
 bool ParseArgs(int argc, char** argv, NodeOptions* opt) {
@@ -188,6 +207,18 @@ bool ParseArgs(int argc, char** argv, NodeOptions* opt) {
       opt->miss_limit = std::atoi(v.c_str());
     } else if (ParseFlag(arg, "wait-peers-ms", &v)) {
       opt->wait_peers_ms = std::atoll(v.c_str());
+    } else if (ParseFlag(arg, "http-port", &v)) {
+      opt->http_port = std::atoi(v.c_str());
+    } else if (ParseFlag(arg, "trace", &v)) {
+      opt->trace = v == "1" || v == "true";
+    } else if (ParseFlag(arg, "trace-out", &v)) {
+      opt->trace_out = v;
+    } else if (ParseFlag(arg, "watchdog-period", &v)) {
+      opt->engine.watchdog_period_ms = std::atoi(v.c_str());
+    } else if (ParseFlag(arg, "debug-slow-worker", &v)) {
+      opt->engine.debug_slow_worker = std::atoi(v.c_str());
+    } else if (ParseFlag(arg, "debug-slow-task-ms", &v)) {
+      opt->engine.debug_slow_task_ms = std::atoi(v.c_str());
     } else if (arg == "--help" || arg == "-h") {
       Usage();
       std::exit(0);
@@ -254,6 +285,116 @@ std::unique_ptr<TcpTransport> MakeTransport(const NodeOptions& opt) {
   return std::make_unique<TcpTransport>(topt);
 }
 
+// The registry holds engine.* / trace.* metrics; transport counters
+// live in NetworkStats, so the /metrics handler appends them as
+// hand-rolled net_* Prometheus lines (one sample per remote endpoint).
+void AppendTransportMetrics(const NetworkStats& stats, std::string* out) {
+  struct Field {
+    const char* name;
+    uint64_t NetworkStats::Endpoint::* member;
+  };
+  static constexpr Field kFields[] = {
+      {"net_bytes_sent_total", &NetworkStats::Endpoint::bytes_sent},
+      {"net_bytes_recv_total", &NetworkStats::Endpoint::bytes_recv},
+      {"net_msgs_sent_total", &NetworkStats::Endpoint::msgs_sent},
+      {"net_msgs_dropped_total", &NetworkStats::Endpoint::msgs_dropped},
+      {"net_reconnects_total", &NetworkStats::Endpoint::reconnects},
+      {"net_heartbeat_misses_total",
+       &NetworkStats::Endpoint::heartbeat_misses},
+  };
+  for (const Field& f : kFields) {
+    *out += "# TYPE " + std::string(f.name) + " counter\n";
+    for (size_t ep = 0; ep < stats.endpoints.size(); ++ep) {
+      const bool is_master = ep + 1 == stats.endpoints.size();
+      std::string endpoint =
+          is_master ? "master" : "w" + std::to_string(ep);
+      *out += std::string(f.name) + "{endpoint=\"" + endpoint +
+              "\"} " + std::to_string(stats.endpoints[ep].*(f.member)) + "\n";
+    }
+  }
+}
+
+/// Mounts /metrics, /healthz and /statusz for one TCP rank. `statusz`
+/// produces the role-specific JSON body.
+std::unique_ptr<HttpServer> StartNodeHttp(
+    const NodeOptions& opt, const TcpTransport* transport,
+    std::function<std::string()> statusz) {
+  if (opt.http_port < 0) return nullptr;
+  auto http = std::make_unique<HttpServer>();
+  http->Handle("/metrics", [transport](const std::string&) {
+    HttpResponse resp;
+    resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    resp.body = PrometheusExport(MetricsRegistry::Global().Snapshot());
+    AppendTransportMetrics(transport->GetStats(), &resp.body);
+    return resp;
+  });
+  http->Handle("/healthz", [](const std::string&) {
+    HttpResponse resp;
+    resp.body = "ok\n";
+    return resp;
+  });
+  http->Handle("/statusz", [statusz = std::move(statusz)](const std::string&) {
+    HttpResponse resp;
+    resp.content_type = "application/json";
+    resp.body = statusz();
+    return resp;
+  });
+  Status st = http->Start("127.0.0.1", static_cast<uint16_t>(opt.http_port));
+  if (!st.ok()) {
+    std::fprintf(stderr, "http: %s\n", st.ToString().c_str());
+    return nullptr;
+  }
+  std::fprintf(stderr, "http: rank %d listening on 127.0.0.1:%u\n", opt.rank,
+               http->port());
+  return http;
+}
+
+uint64_t SumEndpoint(const NetworkStats& stats,
+                     uint64_t NetworkStats::Endpoint::* member) {
+  uint64_t total = 0;
+  for (const auto& ep : stats.endpoints) total += ep.*member;
+  return total;
+}
+
+/// Collects every rank's tracer snapshot at the master, rebases remote
+/// timestamps with the heartbeat-derived clock offsets, and writes one
+/// merged Chrome trace JSON.
+void CollectAndWriteTrace(const NodeOptions& opt, Master* master,
+                          TcpTransport* transport) {
+  const int requested = master->RequestWorkerTraces();
+  if (!master->WaitForWorkerTraces(10000)) {
+    std::fprintf(stderr, "master: trace collection timed out\n");
+  }
+  std::vector<TraceSnapshotMsg> snaps = master->TakeWorkerTraces();
+  std::vector<RankTrace> ranks;
+  RankTrace mine;
+  mine.rank = kMasterRank;
+  mine.label = "master";
+  mine.dropped_spans = Tracer::Global().dropped_spans();
+  mine.events = Tracer::Global().SnapshotEvents();
+  ranks.push_back(std::move(mine));
+  for (TraceSnapshotMsg& snap : snaps) {
+    RankTrace rt;
+    rt.rank = snap.worker;
+    rt.label = "worker " + std::to_string(snap.worker);
+    if (!transport->PeerClockOffset(snap.worker, &rt.clock_offset_ns)) {
+      std::fprintf(stderr, "master: no clock offset for w%d; using 0\n",
+                   snap.worker);
+    }
+    rt.dropped_spans = snap.dropped;
+    rt.events = std::move(snap.events);
+    ranks.push_back(std::move(rt));
+  }
+  Status st = WriteMergedChromeTrace(ranks, opt.trace_out);
+  if (!st.ok()) {
+    std::fprintf(stderr, "master: cannot write trace: %s\n",
+                 st.ToString().c_str());
+    return;
+  }
+  std::fprintf(stderr, "master: merged trace (%zu/%d worker snapshots) -> %s\n",
+               snaps.size(), requested, opt.trace_out.c_str());
+}
+
 int RunInproc(const NodeOptions& opt) {
   TreeServerCluster cluster(MakeTable(opt), opt.engine);
   ForestModel model = cluster.TrainForest(MakeJob(opt));
@@ -266,9 +407,27 @@ int RunInproc(const NodeOptions& opt) {
 }
 
 int RunMaster(const NodeOptions& opt) {
+  if (opt.trace) Tracer::Global().Enable();
   auto table = std::make_shared<const DataTable>(MakeTable(opt));
   auto transport = MakeTransport(opt);
   Master master(table, transport.get(), opt.engine);
+  std::unique_ptr<HttpServer> http =
+      StartNodeHttp(opt, transport.get(), [&master, &transport] {
+        MasterStats s = master.GetStats();
+        NetworkStats net = transport->GetStats();
+        return "{\"rank\":-1,\"role\":\"master\",\"tasks_in_flight\":" +
+               std::to_string(s.tasks_in_flight) +
+               ",\"bplan_depth\":" + std::to_string(s.bplan_depth) +
+               ",\"active_trees\":" + std::to_string(s.active_trees) +
+               ",\"slow_tasks\":" + std::to_string(s.slow_tasks) +
+               ",\"reconnects\":" +
+               std::to_string(
+                   SumEndpoint(net, &NetworkStats::Endpoint::reconnects)) +
+               ",\"heartbeat_misses\":" +
+               std::to_string(SumEndpoint(
+                   net, &NetworkStats::Endpoint::heartbeat_misses)) +
+               ",\"rss_bytes\":" + std::to_string(CurrentRssBytes()) + "}\n";
+      });
   transport->SetPeerDeadCallback([&](int rank) {
     if (rank != kMasterRank) master.OnWorkerCrash(rank);
   });
@@ -302,6 +461,11 @@ int RunMaster(const NodeOptions& opt) {
     std::fprintf(stderr, "master: cannot write %s\n", opt.out.c_str());
     return 1;
   }
+  // Trace collection must precede the shutdown broadcast: workers
+  // answer kTraceRequest from their still-running task loops.
+  if (opt.trace && !opt.trace_out.empty()) {
+    CollectAndWriteTrace(opt, &master, transport.get());
+  }
   for (int w = 0; w < opt.engine.num_workers; ++w) {
     if (!transport->IsCrashed(w)) {
       transport->Send(ChannelKind::kTask,
@@ -312,12 +476,14 @@ int RunMaster(const NodeOptions& opt) {
   // Give the shutdown frames a moment to flush before tearing down.
   std::this_thread::sleep_for(std::chrono::milliseconds(100));
   master.Stop();
+  if (http != nullptr) http->Stop();
   transport->Shutdown();
   std::fprintf(stderr, "master: trained %zu trees\n", model.num_trees());
   return 0;
 }
 
 int RunWorker(const NodeOptions& opt) {
+  if (opt.trace) Tracer::Global().Enable();
   auto table = std::make_shared<const DataTable>(MakeTable(opt));
   auto transport = MakeTransport(opt);
   std::atomic<bool> master_dead{false};
@@ -337,7 +503,27 @@ int RunWorker(const NodeOptions& opt) {
   BusyClock busy;
   Worker worker(opt.rank, table, transport.get(),
                 opt.engine.compers_per_worker, &task_memory, &busy,
-                opt.engine.compress_transfers);
+                opt.engine.compress_transfers,
+                opt.rank == opt.engine.debug_slow_worker
+                    ? opt.engine.debug_slow_task_ms
+                    : 0);
+  std::unique_ptr<HttpServer> http =
+      StartNodeHttp(opt, transport.get(), [&opt, &worker, &transport] {
+        WorkerStats s = worker.GetStats();
+        NetworkStats net = transport->GetStats();
+        return "{\"rank\":" + std::to_string(opt.rank) +
+               ",\"role\":\"worker\",\"tasks_parked\":" +
+               std::to_string(s.tasks_parked) +
+               ",\"btask_depth\":" + std::to_string(s.btask_depth) +
+               ",\"tasks_computed\":" + std::to_string(s.tasks_computed) +
+               ",\"reconnects\":" +
+               std::to_string(
+                   SumEndpoint(net, &NetworkStats::Endpoint::reconnects)) +
+               ",\"heartbeat_misses\":" +
+               std::to_string(SumEndpoint(
+                   net, &NetworkStats::Endpoint::heartbeat_misses)) +
+               ",\"rss_bytes\":" + std::to_string(CurrentRssBytes()) + "}\n";
+      });
   worker.Start();
   // The task loop exits (closing its queue) on the master's kShutdown;
   // a dead master ends the process too.
@@ -346,6 +532,7 @@ int RunWorker(const NodeOptions& opt) {
   }
   transport->CloseAll();
   worker.Join();
+  if (http != nullptr) http->Stop();
   transport->Shutdown();
   std::fprintf(stderr, "worker %d: exiting (%s)\n", opt.rank,
                master_dead.load() ? "master died" : "job done");

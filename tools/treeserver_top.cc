@@ -1,0 +1,300 @@
+// Terminal observability companion for treeserver_node ranks.
+//
+// Modes:
+//   treeserver_top HOST:PORT [HOST:PORT ...]
+//       one-shot dashboard: fetch /statusz from every rank endpoint
+//       and render one row per rank (add --watch=SECONDS to refresh).
+//   treeserver_top --fetch=HOST:PORT/PATH
+//       raw GET, body to stdout (curl-free smoke probes in scripts).
+//   treeserver_top --validate-trace=FILE --expect-ranks=N
+//       validate a merged Chrome trace: well-formed JSON, >= 1 event
+//       in every expected process lane (master + N workers), and the
+//       earliest master scheduling span not after the earliest worker
+//       compute span (clock rebasing preserved causality).
+//   treeserver_top --self-test
+//       exercise the HTTP client/server and the trace validator
+//       in-process; exit 0 on success (tools/check.sh smoke stage).
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/http_server.h"
+#include "common/json.h"
+#include "common/trace_merge.h"
+
+namespace treeserver {
+namespace {
+
+bool SplitHostPort(const std::string& addr, std::string* host, int* port,
+                   std::string* path) {
+  size_t slash = addr.find('/');
+  std::string hp = slash == std::string::npos ? addr : addr.substr(0, slash);
+  *path = slash == std::string::npos ? "/" : addr.substr(slash);
+  size_t colon = hp.rfind(':');
+  if (colon == std::string::npos) return false;
+  *host = hp.substr(0, colon);
+  *port = std::atoi(hp.c_str() + colon + 1);
+  return *port > 0 && *port <= 65535;
+}
+
+int Fetch(const std::string& target) {
+  std::string host, path;
+  int port = 0;
+  if (!SplitHostPort(target, &host, &port, &path)) {
+    std::fprintf(stderr, "bad --fetch target %s (want HOST:PORT/PATH)\n",
+                 target.c_str());
+    return 2;
+  }
+  std::string body;
+  int status_code = 0;
+  Status st =
+      HttpGet(host, static_cast<uint16_t>(port), path, &body, &status_code);
+  if (!st.ok()) {
+    std::fprintf(stderr, "fetch %s: %s\n", target.c_str(),
+                 st.ToString().c_str());
+    return 1;
+  }
+  std::fwrite(body.data(), 1, body.size(), stdout);
+  if (status_code != 200) {
+    std::fprintf(stderr, "fetch %s: HTTP %d\n", target.c_str(), status_code);
+    return 1;
+  }
+  return 0;
+}
+
+int Dashboard(const std::vector<std::string>& endpoints, int watch_seconds) {
+  do {
+    if (watch_seconds > 0) std::printf("\x1b[H\x1b[2J");
+    std::printf("%-22s %-8s %10s %10s %10s %8s %10s\n", "endpoint", "role",
+                "in-flight", "queued", "computed", "slow", "rss(MB)");
+    for (const std::string& ep : endpoints) {
+      std::string host, path;
+      int port = 0;
+      if (!SplitHostPort(ep, &host, &port, &path)) {
+        std::printf("%-22s bad endpoint\n", ep.c_str());
+        continue;
+      }
+      std::string body;
+      Status st =
+          HttpGet(host, static_cast<uint16_t>(port), "/statusz", &body);
+      JsonValue v;
+      if (!st.ok() || !JsonValue::Parse(body, &v).ok()) {
+        std::printf("%-22s unreachable (%s)\n", ep.c_str(),
+                    st.ToString().c_str());
+        continue;
+      }
+      const std::string role = v.StringOr("role", "?");
+      const double in_flight = role == "master"
+                                   ? v.NumberOr("tasks_in_flight", 0)
+                                   : v.NumberOr("tasks_parked", 0);
+      const double queued = role == "master" ? v.NumberOr("bplan_depth", 0)
+                                             : v.NumberOr("btask_depth", 0);
+      std::printf("%-22s %-8s %10.0f %10.0f %10.0f %8.0f %10.1f\n", ep.c_str(),
+                  role.c_str(), in_flight, queued,
+                  v.NumberOr("tasks_computed", 0), v.NumberOr("slow_tasks", 0),
+                  v.NumberOr("rss_bytes", 0) / (1024.0 * 1024.0));
+    }
+    std::fflush(stdout);
+    if (watch_seconds > 0) ::sleep(static_cast<unsigned>(watch_seconds));
+  } while (watch_seconds > 0);
+  return 0;
+}
+
+/// Validates a merged Chrome trace produced by the master: one process
+/// lane per expected rank with at least one non-metadata event, and
+/// master scheduling preceding worker computation after rebasing.
+int ValidateTrace(const std::string& text, int expect_ranks) {
+  JsonValue doc;
+  if (Status st = JsonValue::Parse(text, &doc); !st.ok()) {
+    std::fprintf(stderr, "trace: bad JSON: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  const JsonValue* events = doc.Find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    std::fprintf(stderr, "trace: no traceEvents array\n");
+    return 1;
+  }
+  // Lane pids: master = TracePidForRank(kMasterRank) = 1, worker w =
+  // w + 2 (common/trace_merge.h).
+  std::vector<uint64_t> events_per_lane(
+      static_cast<size_t>(expect_ranks) + 2, 0);
+  double first_master_schedule = -1.0;
+  double first_worker_compute = -1.0;
+  for (const JsonValue& e : events->as_array()) {
+    const std::string ph = e.StringOr("ph", "");
+    if (ph == "M") continue;  // metadata carries no timestamp
+    const int pid = static_cast<int>(e.NumberOr("pid", -1));
+    if (pid >= 1 && pid < static_cast<int>(events_per_lane.size())) {
+      ++events_per_lane[static_cast<size_t>(pid)];
+    }
+    const std::string name = e.StringOr("name", "");
+    const double ts = e.NumberOr("ts", -1.0);
+    if (ts < 0) continue;
+    if (pid == 1 && name == "schedule" &&
+        (first_master_schedule < 0 || ts < first_master_schedule)) {
+      first_master_schedule = ts;
+    }
+    if (pid >= 2 && name.rfind("compute-", 0) == 0 &&
+        (first_worker_compute < 0 || ts < first_worker_compute)) {
+      first_worker_compute = ts;
+    }
+  }
+  int failures = 0;
+  if (events_per_lane[1] == 0) {
+    std::fprintf(stderr, "trace: master lane (pid 1) has no events\n");
+    ++failures;
+  }
+  for (int w = 0; w < expect_ranks; ++w) {
+    if (events_per_lane[static_cast<size_t>(w) + 2] == 0) {
+      std::fprintf(stderr, "trace: worker %d lane (pid %d) has no events\n", w,
+                   w + 2);
+      ++failures;
+    }
+  }
+  if (first_master_schedule >= 0 && first_worker_compute >= 0 &&
+      first_master_schedule > first_worker_compute) {
+    std::fprintf(stderr,
+                 "trace: causality violated: first master schedule at %.1fus "
+                 "is after first worker compute at %.1fus\n",
+                 first_master_schedule, first_worker_compute);
+    ++failures;
+  }
+  if (failures == 0) {
+    std::fprintf(stderr, "trace: ok (%d lanes, schedule@%.1fus compute@%.1fus)\n",
+                 expect_ranks + 1, first_master_schedule,
+                 first_worker_compute);
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+int ValidateTraceFile(const std::string& path, int expect_ranks) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ValidateTrace(buf.str(), expect_ranks);
+}
+
+int SelfTest() {
+  // HTTP server + client round trip.
+  HttpServer server;
+  server.Handle("/probe", [](const std::string& query) {
+    HttpResponse resp;
+    resp.body = "probe:" + query;
+    return resp;
+  });
+  if (Status st = server.Start("127.0.0.1", 0); !st.ok()) {
+    std::fprintf(stderr, "self-test: http start: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::string body;
+  int code = 0;
+  Status st = HttpGet("127.0.0.1", server.port(), "/probe?x=1", &body, &code);
+  server.Stop();
+  if (!st.ok() || code != 200 || body != "probe:x=1") {
+    std::fprintf(stderr, "self-test: http round trip failed (%s, %d, %s)\n",
+                 st.ToString().c_str(), code, body.c_str());
+    return 1;
+  }
+
+  // Trace validator against a synthetic 1-master + 2-worker trace.
+  std::vector<RankTrace> ranks(3);
+  ranks[0].rank = -1;
+  ranks[0].label = "master";
+  TraceEventCopy sched;
+  sched.name = "schedule";
+  sched.phase = 'X';
+  sched.ts_ns = 1000;
+  sched.dur_ns = 500;
+  ranks[0].events.push_back(sched);
+  for (int w = 0; w < 2; ++w) {
+    ranks[static_cast<size_t>(w) + 1].rank = w;
+    ranks[static_cast<size_t>(w) + 1].label = "worker";
+    TraceEventCopy compute;
+    compute.name = "compute-column";
+    compute.phase = 'X';
+    compute.ts_ns = 5000;
+    compute.dur_ns = 100;
+    ranks[static_cast<size_t>(w) + 1].events.push_back(compute);
+  }
+  if (ValidateTrace(MergedChromeTraceJson(ranks), 2) != 0) {
+    std::fprintf(stderr, "self-test: valid trace rejected\n");
+    return 1;
+  }
+  // Reject a trace missing a worker lane.
+  ranks.pop_back();
+  if (ValidateTrace(MergedChromeTraceJson(ranks), 2) == 0) {
+    std::fprintf(stderr, "self-test: missing lane not detected\n");
+    return 1;
+  }
+  std::fprintf(stderr, "self-test: ok\n");
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  std::vector<std::string> endpoints;
+  std::string fetch_target;
+  std::string trace_file;
+  int expect_ranks = -1;
+  int watch_seconds = 0;
+  bool self_test = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto flag_value = [&arg](const char* name) -> const char* {
+      std::string prefix = std::string("--") + name + "=";
+      return arg.rfind(prefix, 0) == 0 ? arg.c_str() + prefix.size() : nullptr;
+    };
+    if (const char* v = flag_value("fetch")) {
+      fetch_target = v;
+    } else if (const char* v = flag_value("validate-trace")) {
+      trace_file = v;
+    } else if (const char* v = flag_value("expect-ranks")) {
+      expect_ranks = std::atoi(v);
+    } else if (const char* v = flag_value("watch")) {
+      watch_seconds = std::atoi(v);
+    } else if (arg == "--self-test") {
+      self_test = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr,
+                   "treeserver_top [HOST:PORT ...] [--watch=S]\n"
+                   "               [--fetch=HOST:PORT/PATH]\n"
+                   "               [--validate-trace=F --expect-ranks=N]\n"
+                   "               [--self-test]\n");
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return 2;
+    } else {
+      endpoints.push_back(arg);
+    }
+  }
+  if (self_test) return SelfTest();
+  if (!fetch_target.empty()) return Fetch(fetch_target);
+  if (!trace_file.empty()) {
+    if (expect_ranks < 0) {
+      std::fprintf(stderr, "--validate-trace needs --expect-ranks\n");
+      return 2;
+    }
+    return ValidateTraceFile(trace_file, expect_ranks);
+  }
+  if (endpoints.empty()) {
+    std::fprintf(stderr, "no endpoints; try --help\n");
+    return 2;
+  }
+  return Dashboard(endpoints, watch_seconds);
+}
+
+}  // namespace
+}  // namespace treeserver
+
+int main(int argc, char** argv) { return treeserver::Run(argc, argv); }
