@@ -1,0 +1,98 @@
+#include "engine/checkpoint_io.h"
+
+#include <cstdio>
+
+#include "common/serial.h"
+#include "rpc/crc32c.h"
+
+namespace treeserver {
+
+namespace {
+
+Status WriteFileAtomic(const std::string& path, const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + tmp + " for writing");
+  }
+  size_t written =
+      bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const bool flushed = std::fclose(f) == 0;
+  if (written != bytes.size() || !flushed) {
+    std::remove(tmp.c_str());
+    return Status::IOError("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot rename " + tmp + " to " + path);
+  }
+  return Status::OK();
+}
+
+Status ReadFile(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + path);
+  }
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (size < 0) {
+    std::fclose(f);
+    return Status::IOError("cannot stat " + path);
+  }
+  out->resize(static_cast<size_t>(size));
+  size_t read = size == 0 ? 0 : std::fread(out->data(), 1, out->size(), f);
+  std::fclose(f);
+  if (read != out->size()) {
+    return Status::IOError("short read from " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveCheckpoint(const std::string& path, const std::string& snapshot) {
+  BinaryWriter w;
+  w.Write(kCheckpointMagic);
+  w.Write(kCheckpointVersion);
+  w.WriteString(snapshot);  // u64 length + bytes
+  w.Write(Crc32c(snapshot.data(), snapshot.size()));
+  return WriteFileAtomic(path, w.buffer());
+}
+
+Status LoadCheckpoint(const std::string& path, std::string* snapshot) {
+  std::string bytes;
+  TS_RETURN_IF_ERROR(ReadFile(path, &bytes));
+  BinaryReader r(bytes);
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  if (!r.Read(&magic).ok() || !r.Read(&version).ok()) {
+    return Status::Corruption(path + ": truncated checkpoint header");
+  }
+  if (magic != kCheckpointMagic) {
+    return Status::Corruption(path + ": not a TreeServer checkpoint file");
+  }
+  if (version == 0 || version > kCheckpointVersion) {
+    return Status::InvalidArgument(
+        path + ": unsupported checkpoint version " + std::to_string(version));
+  }
+  std::string payload;
+  if (!r.ReadString(&payload).ok()) {
+    return Status::Corruption(path + ": truncated checkpoint payload");
+  }
+  uint32_t stored_crc = 0;
+  if (!r.Read(&stored_crc).ok()) {
+    return Status::Corruption(path + ": truncated checkpoint trailer");
+  }
+  if (!r.AtEnd()) {
+    return Status::Corruption(path + ": trailing bytes after checkpoint");
+  }
+  if (Crc32c(payload.data(), payload.size()) != stored_crc) {
+    return Status::Corruption(path + ": checkpoint CRC mismatch");
+  }
+  *snapshot = std::move(payload);
+  return Status::OK();
+}
+
+}  // namespace treeserver

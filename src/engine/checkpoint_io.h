@@ -1,0 +1,27 @@
+#ifndef TREESERVER_ENGINE_CHECKPOINT_IO_H_
+#define TREESERVER_ENGINE_CHECKPOINT_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace treeserver {
+
+/// Durable on-disk form of a Master::Checkpoint() snapshot.
+///
+/// File layout: [u32 magic "TSCK"][u32 version][u64 payload_len]
+/// [payload][u32 crc32c(payload)]. Written to `<path>.tmp` and
+/// atomically renamed, mirroring the model files, so a crash mid-write
+/// can never leave a half-checkpoint where a restart would read it.
+/// Load rejects bad magic/version, truncation, length mismatch and
+/// CRC failure — a torn or bit-flipped checkpoint must fail loudly
+/// rather than restore silently-wrong job state.
+constexpr uint32_t kCheckpointMagic = 0x4b435354;  // "TSCK" little-endian
+constexpr uint32_t kCheckpointVersion = 1;
+
+Status SaveCheckpoint(const std::string& path, const std::string& snapshot);
+Status LoadCheckpoint(const std::string& path, std::string* snapshot);
+
+}  // namespace treeserver
+
+#endif  // TREESERVER_ENGINE_CHECKPOINT_IO_H_

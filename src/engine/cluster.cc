@@ -22,7 +22,8 @@ TreeServerCluster::TreeServerCluster(DataTable table, EngineConfig config)
         i, table_, network_.get(), config_.compers_per_worker,
         task_memory_.get(), busy_clocks_.back().get(),
         config_.compress_transfers,
-        i == config_.debug_slow_worker ? config_.debug_slow_task_ms : 0));
+        i == config_.debug_slow_worker ? config_.debug_slow_task_ms : 0,
+        config_.ReliableConfig()));
   }
   master_->Start();
   for (auto& w : workers_) w->Start();

@@ -26,6 +26,7 @@ Master::Master(std::shared_ptr<const DataTable> table, Transport* network,
     : table_(std::move(table)),
       network_(network),
       config_(config),
+      link_(network, kMasterRank, config.ReliableConfig()),
       placement_(table_->schema(), config.num_workers, config.replication),
       load_(config.num_workers),
       alive_(config.num_workers, true),
@@ -39,11 +40,14 @@ Master::Master(std::shared_ptr<const DataTable> table, Transport* network,
           "master.subtree_task_latency_us")),
       slow_tasks_(MetricsRegistry::Global().GetCounter("engine.slow_tasks")),
       sched_counter_(
-          MetricsRegistry::Global().GetCounter("engine.tasks_scheduled")) {}
+          MetricsRegistry::Global().GetCounter("engine.tasks_scheduled")),
+      dup_msgs_(
+          MetricsRegistry::Global().GetCounter("engine.duplicate_tasks")) {}
 
 Master::~Master() { Stop(); }
 
 void Master::Start() {
+  link_.Start();
   main_thread_ = std::thread(&Master::MainLoop, this);
   recv_thread_ = std::thread(&Master::RecvLoop, this);
   if (config_.watchdog_period_ms > 0) {
@@ -63,6 +67,8 @@ void Master::Stop() {
   }
   if (watchdog_thread_.joinable()) watchdog_thread_.join();
   if (main_thread_.joinable()) main_thread_.join();
+  // No more scheduling: stop retransmitting before the channel closes.
+  link_.Stop();
   // θ_recv blocks on the master queue; close it so the thread drains
   // pending results and exits.
   network_->master_queue().Close();
@@ -94,9 +100,9 @@ ForestModel Master::Wait(uint32_t job_id) {
 
 void Master::SendToWorker(int worker, MsgType type, std::string payload,
                           uint64_t trace_id) {
-  network_->Send(ChannelKind::kTask,
-                 Message{kMasterRank, worker, static_cast<uint32_t>(type),
-                         std::move(payload), trace_id});
+  link_.Send(ChannelKind::kTask,
+             Message{kMasterRank, worker, static_cast<uint32_t>(type),
+                     std::move(payload), trace_id});
 }
 
 void Master::InsertPlan(const Plan& plan) {
@@ -183,6 +189,9 @@ std::string Master::Checkpoint() {
   }
   w.Write(static_cast<uint32_t>(alive_.size()));
   for (bool a : alive_) w.Write(static_cast<uint8_t>(a ? 1 : 0));
+  // Fencing epoch: the restoring master resumes at epoch + 1 so the
+  // dead master's in-flight messages (and its acks) are fenced.
+  w.Write(epoch_);
   return w.Release();
 }
 
@@ -231,6 +240,10 @@ Status Master::Restore(const std::string& checkpoint) {
       placement_.RemoveWorker(static_cast<int>(wk));
     }
   }
+  uint32_t epoch = 0;
+  TS_RETURN_IF_ERROR(r.Read(&epoch));
+  epoch_ = epoch + 1;
+  link_.SetGeneration(epoch_);
   return Status::OK();
 }
 
@@ -418,6 +431,7 @@ void Master::SchedulePlan(const Plan& plan) {
 
 void Master::RecvLoop() {
   while (auto msg = network_->master_queue().Pop()) {
+    if (!link_.OnReceive(&*msg, ChannelKind::kTask)) continue;
     switch (static_cast<MsgType>(msg->type)) {
       case MsgType::kColumnTaskResponse:
         HandleColumnResponse(msg->payload);
@@ -458,6 +472,15 @@ void Master::HandleColumnResponse(const std::string& payload) {
   {
     std::lock_guard<std::mutex> lock(entry->mu);
     if (entry->completed) return;  // stale duplicate
+    if (!entry->responded.insert(resp.worker).second) {
+      // Replayed response from a worker already counted: folding it in
+      // again would double-decrement `pending` and complete the node
+      // with partial results.
+      dup_msgs_->Inc();
+      TS_LOG(kWarn) << "master: dropped duplicate response for task "
+                    << resp.task_id << " from w" << resp.worker;
+      return;
+    }
     if (!entry->have_stats) {
       entry->node_stats = resp.node_stats;
       entry->have_stats = true;
@@ -841,6 +864,12 @@ MasterStats Master::GetStats() const {
   stats.trees_completed = trees_completed_.value();
   stats.trees_restarted = trees_restarted_.value();
   stats.slow_tasks = slow_tasks_->value();
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  stats.retransmits = reg.GetCounter("engine.retransmits")->value();
+  stats.duplicate_msgs = reg.GetCounter("engine.duplicate_msgs")->value() +
+                         reg.GetCounter("engine.duplicate_tasks")->value();
+  stats.fenced_msgs = reg.GetCounter("engine.fenced_msgs")->value();
+  stats.corrupt_msgs = reg.GetCounter("engine.corrupt_msgs")->value();
   stats.predicted_load.resize(config_.num_workers);
   for (int w = 0; w < config_.num_workers; ++w) {
     std::array<double, 3> l = load_.Get(w);
@@ -877,6 +906,8 @@ void Master::HandleWorkerCrash(int worker) {
     if (!alive_[worker]) return;  // duplicate notice
     alive_[worker] = false;
   }
+  // Stop retransmitting to the dead rank; its tasks are re-planned.
+  link_.DropPeer(worker);
   load_.ClearWorker(worker);
 
   // Reassign the lost columns: every column the crashed worker held

@@ -7,6 +7,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <thread>
 #include <vector>
 
@@ -15,6 +16,7 @@
 #include "concurrent/plan_deque.h"
 #include "engine/cost_model.h"
 #include "engine/messages.h"
+#include "engine/reliable.h"
 #include "forest/forest.h"
 #include "rpc/transport.h"
 #include "table/data_table.h"
@@ -61,6 +63,17 @@ struct EngineConfig {
   int debug_slow_worker = -1;
   int debug_slow_task_ms = 0;
   uint64_t seed = 42;
+  /// Reliable-delivery layer: first retransmit deadline for an
+  /// unacked engine message, the exponential-backoff cap, and how many
+  /// retransmits to attempt before giving a message up for dead.
+  int ack_timeout_ms = 200;
+  int ack_backoff_max_ms = 2000;
+  int max_retransmits = 20;
+
+  ReliableOptions ReliableConfig(uint32_t generation = 0) const {
+    return ReliableOptions{ack_timeout_ms, ack_backoff_max_ms,
+                           max_retransmits, generation};
+  }
 };
 
 /// Point-in-time master-side statistics (part of EngineStats).
@@ -81,6 +94,14 @@ struct MasterStats {
   uint64_t trees_restarted = 0;
   /// In-flight tasks the watchdog has flagged as stragglers.
   uint64_t slow_tasks = 0;
+  /// Reliable-delivery health (process-wide registry counters):
+  /// retransmitted engine messages, duplicates suppressed at the
+  /// receive seams, stale-generation messages fenced, and CRC-failed
+  /// reliable frames dropped.
+  uint64_t retransmits = 0;
+  uint64_t duplicate_msgs = 0;
+  uint64_t fenced_msgs = 0;
+  uint64_t corrupt_msgs = 0;
   /// Predicted per-worker load units from M_work (Section VI), to be
   /// compared against the actual per-worker bytes / busy-time.
   struct WorkerLoad {
@@ -134,7 +155,14 @@ class Master {
   /// trees are kept, unfinished ones will be re-admitted and retrained
   /// from scratch. Deterministic sampling makes the retrained trees
   /// identical to what the failed master would have produced.
+  /// Bumps the fencing epoch past the checkpointed one, so messages
+  /// from the previous master's generation are fenced at every
+  /// receiver.
   Status Restore(const std::string& checkpoint);
+
+  /// The fencing epoch this master stamps on outgoing messages
+  /// (0 for a fresh master; checkpointed + 1 after Restore).
+  uint32_t epoch() const { return epoch_; }
 
   /// Diagnostics.
   uint64_t tasks_scheduled() const { return tasks_scheduled_.value(); }
@@ -191,6 +219,9 @@ class Master {
     std::vector<int> workers;
     int key_worker = -1;
     int pending = 0;
+    /// Workers whose column response was already folded in — a
+    /// replayed response must not decrement `pending` twice.
+    std::set<int> responded;
     SplitOutcome best;
     int best_worker = -1;
     TargetStats node_stats;
@@ -257,6 +288,11 @@ class Master {
   const std::shared_ptr<const DataTable> table_;
   Transport* const network_;
   const EngineConfig config_;
+  /// Ack/retransmit + dedup/fencing layer over network_; every
+  /// reliable-type send and the θ_recv loop route through it.
+  ReliableLink link_;
+  /// Fencing epoch (generation) stamped into reliable sends.
+  uint32_t epoch_ = 0;
 
   ColumnPlacement placement_;
   LoadMatrix load_;
@@ -289,6 +325,7 @@ class Master {
   Histogram* const subtree_latency_us_;
   Counter* const slow_tasks_;          // "engine.slow_tasks"
   Counter* const sched_counter_;       // "engine.tasks_scheduled"
+  Counter* const dup_msgs_;            // "engine.duplicate_tasks"
 
   // Trace collection (guarded by trace_mu_).
   std::mutex trace_mu_;

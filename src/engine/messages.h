@@ -24,6 +24,7 @@ enum class MsgType : uint32_t {
   kTreeRevoke = 6,        // fault tolerance: drop all tasks of a tree
   kShutdown = 7,
   kRevokeAll = 8,       // master failover: drop every task object
+  kAck = 9,             // reliable-delivery ack: [u32 gen][u64 seq]
   // Task channel, worker -> master.
   kColumnTaskResponse = 10,
   kSubtreeResult = 11,

@@ -1,0 +1,279 @@
+#include "engine/reliable.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+#include "engine/messages.h"
+#include "rpc/crc32c.h"
+
+namespace treeserver {
+
+namespace {
+
+void PutU32(char* p, uint32_t v) { std::memcpy(p, &v, sizeof(v)); }
+void PutU64(char* p, uint64_t v) { std::memcpy(p, &v, sizeof(v)); }
+uint32_t GetU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+uint64_t GetU64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+bool ReliableLink::IsReliableType(uint32_t type) {
+  switch (static_cast<MsgType>(type)) {
+    case MsgType::kColumnTaskPlan:
+    case MsgType::kSubtreeTaskPlan:
+    case MsgType::kBestSplitNotify:
+    case MsgType::kTaskDelete:
+    case MsgType::kParentRelease:
+    case MsgType::kTreeRevoke:
+    case MsgType::kColumnTaskResponse:
+    case MsgType::kSubtreeResult:
+    case MsgType::kIxRequest:
+    case MsgType::kIxResponse:
+    case MsgType::kColumnDataRequest:
+    case MsgType::kColumnDataResponse:
+      return true;
+    // kShutdown / kRevokeAll are broadcast raw (FailoverMaster sends
+    // kRevokeAll straight through the transport), kAck is the ack
+    // itself, kWorkerCrashed is a master self-send, traces are
+    // best-effort.
+    default:
+      return false;
+  }
+}
+
+ReliableLink::ReliableLink(Transport* transport, int local_rank,
+                           ReliableOptions opts)
+    : transport_(transport),
+      local_rank_(local_rank),
+      opts_(opts),
+      retransmits_(MetricsRegistry::Global().GetCounter("engine.retransmits")),
+      dups_(MetricsRegistry::Global().GetCounter("engine.duplicate_msgs")),
+      fenced_(MetricsRegistry::Global().GetCounter("engine.fenced_msgs")),
+      corrupt_(MetricsRegistry::Global().GetCounter("engine.corrupt_msgs")),
+      giveups_(
+          MetricsRegistry::Global().GetCounter("engine.retransmit_giveups")) {}
+
+ReliableLink::~ReliableLink() { Stop(); }
+
+void ReliableLink::SetGeneration(uint32_t generation) {
+  std::lock_guard<std::mutex> lock(mu_);
+  opts_.generation = generation;
+}
+
+void ReliableLink::Start() {
+  retransmit_ = std::thread(&ReliableLink::RetransmitLoop, this);
+}
+
+void ReliableLink::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  cv_.notify_all();
+  if (retransmit_.joinable()) retransmit_.join();
+}
+
+size_t ReliableLink::PendingCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
+void ReliableLink::DropPeer(int rank) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->first.first == rank) {
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool ReliableLink::Send(ChannelKind channel, Message msg) {
+  if (!IsReliableType(msg.type) || msg.src == msg.dst) {
+    return transport_->Send(channel, std::move(msg));
+  }
+  uint32_t gen;
+  uint64_t seq;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    gen = opts_.generation;
+    seq = ++next_seq_[msg.dst];
+  }
+  char prefix[kPrefixBytes];
+  PutU32(prefix, gen);
+  PutU64(prefix + 4, seq);
+  uint32_t crc = Crc32c(prefix, 12);
+  crc = Crc32cExtend(crc, msg.payload.data(), msg.payload.size());
+  PutU32(prefix + 12, crc);
+  msg.payload.insert(0, prefix, kPrefixBytes);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!stopped_ && !transport_->IsCrashed(msg.dst)) {
+      Pending p;
+      p.channel = channel;
+      p.msg = msg;  // keep the wrapped form for verbatim resend
+      p.backoff_ms = opts_.ack_timeout_ms;
+      p.due = std::chrono::steady_clock::now() +
+              std::chrono::milliseconds(p.backoff_ms);
+      pending_.emplace(std::make_pair(msg.dst, seq), std::move(p));
+    }
+  }
+  cv_.notify_all();
+  return transport_->Send(channel, std::move(msg));
+}
+
+bool ReliableLink::OnReceive(Message* msg, ChannelKind channel) {
+  if (msg->type == static_cast<uint32_t>(MsgType::kAck)) {
+    if (msg->payload.size() != 12) {
+      corrupt_->Inc();
+      return false;
+    }
+    const uint32_t gen = GetU32(msg->payload.data());
+    const uint64_t seq = GetU64(msg->payload.data() + 4);
+    std::lock_guard<std::mutex> lock(mu_);
+    // Only an ack from our own epoch clears pending state — a stale
+    // ack for the previous master's seq N must not release this
+    // epoch's seq N.
+    if (gen == opts_.generation) {
+      pending_.erase(std::make_pair(msg->src, seq));
+    }
+    return false;
+  }
+  if (!IsReliableType(msg->type) || msg->src == msg->dst) return true;
+
+  if (msg->payload.size() < kPrefixBytes) {
+    corrupt_->Inc();
+    TS_LOG(kWarn) << "reliable: short frame from rank " << msg->src
+                  << " type " << msg->type << " (" << msg->payload.size()
+                  << " bytes)";
+    return false;
+  }
+  const char* p = msg->payload.data();
+  const uint32_t gen = GetU32(p);
+  const uint64_t seq = GetU64(p + 4);
+  const uint32_t want_crc = GetU32(p + 12);
+  uint32_t crc = Crc32c(p, 12);
+  crc = Crc32cExtend(crc, p + kPrefixBytes,
+                     msg->payload.size() - kPrefixBytes);
+  if (crc != want_crc) {
+    // No ack: the sender's retransmit delivers an intact copy.
+    corrupt_->Inc();
+    TS_LOG(kWarn) << "reliable: CRC mismatch from rank " << msg->src
+                  << " type " << msg->type << " seq " << seq;
+    return false;
+  }
+
+  bool deliver = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SrcState& st = src_state_[msg->src];
+    if (gen < st.gen) {
+      // Zombie from a prior epoch: count, drop, and do NOT ack — that
+      // sender is gone and must never see progress.
+      fenced_->Inc();
+      TS_LOG(kWarn) << "reliable: fenced stale-generation msg from rank "
+                    << msg->src << " (gen " << gen << " < " << st.gen
+                    << ") type " << msg->type;
+      return false;
+    }
+    if (gen > st.gen) {
+      // The peer restarted into a new epoch: fresh sequence space.
+      st = SrcState{};
+      st.gen = gen;
+    }
+    const bool dup = seq <= st.floor || st.above.count(seq) > 0;
+    if (dup) {
+      dups_->Inc();
+    } else {
+      st.above.insert(seq);
+      while (st.above.count(st.floor + 1) > 0) {
+        st.above.erase(st.floor + 1);
+        ++st.floor;
+      }
+      deliver = true;
+    }
+  }
+  // Ack both fresh deliveries and duplicates (the dup means our
+  // earlier ack was lost), outside the lock: Send may block on
+  // transport backpressure.
+  Message ack;
+  ack.src = local_rank_;
+  ack.dst = msg->src;
+  ack.type = static_cast<uint32_t>(MsgType::kAck);
+  ack.trace_id = msg->trace_id;
+  ack.payload.resize(12);
+  PutU32(ack.payload.data(), gen);
+  PutU64(ack.payload.data() + 4, seq);
+  transport_->Send(channel, std::move(ack));
+  if (!deliver) {
+    TS_LOG(kDebug) << "reliable: dropped duplicate from rank " << msg->src
+                   << " type " << msg->type << " seq " << seq;
+    return false;
+  }
+  msg->payload.erase(0, kPrefixBytes);
+  return true;
+}
+
+void ReliableLink::RetransmitLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopped_) {
+    if (pending_.empty()) {
+      cv_.wait(lock, [&] { return stopped_ || !pending_.empty(); });
+      continue;
+    }
+    auto next = std::chrono::steady_clock::time_point::max();
+    for (const auto& [key, p] : pending_) {
+      if (p.due < next) next = p.due;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (next > now) {
+      cv_.wait_until(lock, next, [&] { return stopped_; });
+      continue;
+    }
+    // Collect due copies under the lock, resend after releasing it
+    // (the transport may block on backpressure).
+    std::vector<std::pair<ChannelKind, Message>> out;
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      Pending& p = it->second;
+      if (p.due > now) {
+        ++it;
+        continue;
+      }
+      const int dst = it->first.first;
+      if (transport_->IsCrashed(dst) || p.retries >= opts_.max_retransmits) {
+        if (!transport_->IsCrashed(dst)) {
+          giveups_->Inc();
+          TS_LOG(kWarn) << "reliable: giving up on msg to rank " << dst
+                        << " type " << p.msg.type << " after " << p.retries
+                        << " retransmits";
+        }
+        it = pending_.erase(it);
+        continue;
+      }
+      ++p.retries;
+      retransmits_->Inc();
+      p.backoff_ms = std::min(p.backoff_ms * 2, opts_.ack_backoff_max_ms);
+      p.due = now + std::chrono::milliseconds(p.backoff_ms);
+      out.emplace_back(p.channel, p.msg);
+      ++it;
+    }
+    lock.unlock();
+    for (auto& [ch, m] : out) {
+      transport_->Send(ch, std::move(m));
+    }
+    lock.lock();
+  }
+}
+
+}  // namespace treeserver

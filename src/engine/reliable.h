@@ -1,0 +1,141 @@
+#ifndef TREESERVER_ENGINE_RELIABLE_H_
+#define TREESERVER_ENGINE_RELIABLE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/metrics_registry.h"
+#include "rpc/transport.h"
+
+namespace treeserver {
+
+/// Retry/backoff knobs for the reliable-delivery layer (mirrored in
+/// EngineConfig so jobs can tune them; tests use short timeouts).
+struct ReliableOptions {
+  int ack_timeout_ms = 200;      // first retransmit deadline
+  int ack_backoff_max_ms = 2000; // exponential backoff cap
+  int max_retransmits = 20;      // then give up (peer is gone)
+  uint32_t generation = 0;       // fencing epoch stamped on every send
+};
+
+/// At-least-once delivery with duplicate suppression and generation
+/// fencing for the engine's fire-and-forget protocol messages.
+///
+/// The engine's control plane (task plans, responses, deletes,
+/// releases) and data plane (I_x / column transfers) assume every
+/// message arrives exactly once; a single dropped frame hangs the job
+/// and a replayed one used to abort the worker. ReliableLink sits
+/// between the engine loops and the Transport:
+///
+///  - Send() wraps each reliable-type payload with a 16-byte prefix
+///    [u32 generation][u64 seq][u32 crc32c(gen‖seq‖payload)], records
+///    it as pending, and retransmits on an exponential-backoff
+///    deadline until the matching kAck arrives (or the peer is
+///    declared crashed / max_retransmits is exhausted).
+///  - OnReceive() is called by the engine receive loops on every
+///    popped message BEFORE decoding. It consumes kAck frames, drops
+///    corrupt (CRC-mismatch, no ack — the retransmit recovers it),
+///    fenced (stale generation) and duplicate (re-acked) messages,
+///    and unwraps + acks deliverable ones. Returns true iff the
+///    engine should process the message.
+///
+/// Generations: each sender stamps its current generation; receivers
+/// track the highest generation seen per peer, reset their dedup
+/// state when it advances (a restarted master is a new sequence
+/// space), and fence anything older (a zombie from before a
+/// failover). Acks echo the generation, and a sender only clears a
+/// pending entry when the echoed generation matches its own — a stale
+/// in-flight ack from the previous epoch can never release a new
+/// message's retransmit.
+///
+/// Self-sends (src == dst) and non-reliable types (shutdown, revoke-
+/// all, heartbeats, traces, crash notices) pass through untouched.
+///
+/// Counters (process registry): engine.retransmits,
+/// engine.duplicate_msgs, engine.fenced_msgs, engine.corrupt_msgs,
+/// engine.retransmit_giveups.
+class ReliableLink {
+ public:
+  ReliableLink(Transport* transport, int local_rank,
+               ReliableOptions opts = ReliableOptions());
+  ~ReliableLink();
+
+  /// Sets the fencing epoch stamped on outgoing messages. Call before
+  /// Start() (the restored master bumps this past the checkpointed
+  /// epoch).
+  void SetGeneration(uint32_t generation);
+  uint32_t generation() const { return opts_.generation; }
+
+  /// Spawns the retransmit thread. Stop() joins it (idempotent).
+  void Start();
+  void Stop();
+
+  /// Sends `msg`, wrapping reliable types and arming a retransmit
+  /// deadline for them. Returns the transport's verdict.
+  bool Send(ChannelKind channel, Message msg);
+
+  /// Filters + unwraps a received message in place. `channel` is the
+  /// queue it was popped from (acks go back on the same channel).
+  /// Returns false when the engine must skip this message.
+  bool OnReceive(Message* msg, ChannelKind channel);
+
+  /// Abandons every pending message to `rank` (it was declared
+  /// crashed; the engine replans its tasks).
+  void DropPeer(int rank);
+
+  /// Messages awaiting an ack (tests / diagnostics).
+  size_t PendingCount() const;
+
+  static bool IsReliableType(uint32_t type);
+
+  /// Bytes of the reliability prefix prepended to wrapped payloads.
+  static constexpr size_t kPrefixBytes = 16;
+
+ private:
+  struct Pending {
+    ChannelKind channel = ChannelKind::kTask;
+    Message msg;  // wrapped copy, resent verbatim
+    int retries = 0;
+    int backoff_ms = 0;
+    std::chrono::steady_clock::time_point due;
+  };
+  /// Receiver-side dedup state for one peer: highest generation seen,
+  /// contiguous floor (all seqs <= floor delivered) and the sparse set
+  /// of delivered seqs above it. Floor + set (rather than a pruned
+  /// window) so an old-but-undelivered seq is never falsely re-acked.
+  struct SrcState {
+    uint32_t gen = 0;
+    uint64_t floor = 0;
+    std::set<uint64_t> above;
+  };
+
+  void RetransmitLoop();
+
+  Transport* const transport_;
+  const int local_rank_;
+  ReliableOptions opts_;
+
+  Counter* const retransmits_;
+  Counter* const dups_;
+  Counter* const fenced_;
+  Counter* const corrupt_;
+  Counter* const giveups_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_map<int, uint64_t> next_seq_;           // per dst
+  std::map<std::pair<int, uint64_t>, Pending> pending_;  // (dst, seq)
+  std::unordered_map<int, SrcState> src_state_;          // per src
+  bool stopped_ = false;
+  std::thread retransmit_;
+};
+
+}  // namespace treeserver
+
+#endif  // TREESERVER_ENGINE_RELIABLE_H_

@@ -107,6 +107,30 @@ std::string FormatEngineStats(const EngineStats& stats) {
               reg.GetCounter("split.histogram_builds")->value()),
           static_cast<unsigned long long>(
               reg.GetCounter("split.sibling_subtractions")->value()));
+  // Reliability + fault-injection counters (process-global): what the
+  // reliable-delivery layer absorbed and, when a chaos schedule is
+  // active, what the injector actually did to the wire. All zeros on a
+  // healthy, fault-free run.
+  AppendF(&out,
+          "  reliability: retransmits=%llu fenced=%llu dup_msgs=%llu "
+          "corrupt=%llu | chaos: drops=%llu dups=%llu delays=%llu "
+          "partitions=%llu\n",
+          static_cast<unsigned long long>(
+              reg.GetCounter("engine.retransmits")->value()),
+          static_cast<unsigned long long>(
+              reg.GetCounter("engine.fenced_msgs")->value()),
+          static_cast<unsigned long long>(
+              reg.GetCounter("engine.duplicate_msgs")->value()),
+          static_cast<unsigned long long>(
+              reg.GetCounter("engine.corrupt_msgs")->value()),
+          static_cast<unsigned long long>(
+              reg.GetCounter("chaos.drops")->value()),
+          static_cast<unsigned long long>(
+              reg.GetCounter("chaos.dups")->value()),
+          static_cast<unsigned long long>(
+              reg.GetCounter("chaos.delays")->value()),
+          static_cast<unsigned long long>(
+              reg.GetCounter("chaos.partitions")->value()));
   return out;
 }
 

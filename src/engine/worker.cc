@@ -26,21 +26,25 @@ uint64_t NowNanos() {
 Worker::Worker(int id, std::shared_ptr<const DataTable> table,
                Transport* network, int num_compers, PeakGauge* task_memory,
                BusyClock* busy_clock, bool compress_transfers,
-               int debug_slow_task_ms)
+               int debug_slow_task_ms, ReliableOptions reliable)
     : id_(id),
       table_(std::move(table)),
       network_(network),
+      link_(network, id, reliable),
       num_compers_(num_compers),
       task_memory_(task_memory),
       busy_clock_(busy_clock),
       compress_transfers_(compress_transfers),
       debug_slow_task_ms_(debug_slow_task_ms),
       computed_counter_(
-          MetricsRegistry::Global().GetCounter("engine.tasks_computed")) {}
+          MetricsRegistry::Global().GetCounter("engine.tasks_computed")),
+      dup_tasks_(
+          MetricsRegistry::Global().GetCounter("engine.duplicate_tasks")) {}
 
 Worker::~Worker() { Join(); }
 
 void Worker::Start() {
+  link_.Start();
   task_thread_ = std::thread(&Worker::TaskLoop, this);
   data_thread_ = std::thread(&Worker::DataLoop, this);
   for (int i = 0; i < num_compers_; ++i) {
@@ -49,6 +53,7 @@ void Worker::Start() {
 }
 
 void Worker::Join() {
+  link_.Stop();
   if (task_thread_.joinable()) task_thread_.join();
   if (data_thread_.joinable()) data_thread_.join();
   for (std::thread& t : compers_) {
@@ -85,10 +90,10 @@ void Worker::RequestIx(uint64_t parent_task, int parent_worker, uint8_t side,
   req.side = side;
   req.requester_task = requester_task;
   req.requester_worker = id_;
-  network_->Send(ChannelKind::kData,
-                 Message{id_, parent_worker,
-                         static_cast<uint32_t>(MsgType::kIxRequest),
-                         req.Encode(), requester_task});
+  link_.Send(ChannelKind::kData,
+             Message{id_, parent_worker,
+                     static_cast<uint32_t>(MsgType::kIxRequest),
+                     req.Encode(), requester_task});
 }
 
 // ---------------------------------------------------------------------
@@ -97,6 +102,7 @@ void Worker::RequestIx(uint64_t parent_task, int parent_worker, uint8_t side,
 
 void Worker::TaskLoop() {
   while (auto msg = network_->task_queue(id_).Pop()) {
+    if (!link_.OnReceive(&*msg, ChannelKind::kTask)) continue;
     switch (static_cast<MsgType>(msg->type)) {
       case MsgType::kColumnTaskPlan:
         HandleColumnTaskPlan(msg->payload);
@@ -150,7 +156,14 @@ void Worker::HandleColumnTaskPlan(const std::string& payload) {
   task->kind = TaskKindTag::kColumn;
   task->tree_id = plan.tree_id;
   task->cplan = plan;
-  TS_CHECK(tasks_.Insert(plan.task_id, task)) << "duplicate task id";
+  if (!tasks_.Insert(plan.task_id, task)) {
+    // Replayed plan (e.g. a retransmit racing its ack): the live task
+    // object already tracks this work — dropping the replay is safe.
+    dup_tasks_->Inc();
+    TS_LOG(kWarn) << "w" << id_ << ": dropped duplicate column plan for task "
+                  << plan.task_id;
+    return;
+  }
 
   if (plan.parent_worker < 0) {
     // Root task: I_x is all rows, known locally.
@@ -183,7 +196,12 @@ void Worker::HandleSubtreeTaskPlan(const std::string& payload) {
     }
   }
   task->awaiting_remote = remote.size();
-  TS_CHECK(tasks_.Insert(plan.task_id, task)) << "duplicate task id";
+  if (!tasks_.Insert(plan.task_id, task)) {
+    dup_tasks_->Inc();
+    TS_LOG(kWarn) << "w" << id_ << ": dropped duplicate subtree plan for task "
+                  << plan.task_id;
+    return;
+  }
 
   for (const auto& [server, cols] : remote) {
     ColumnDataRequest req;
@@ -195,10 +213,10 @@ void Worker::HandleSubtreeTaskPlan(const std::string& payload) {
     req.parent_task = plan.parent_task;
     req.side = plan.side;
     req.n_rows = plan.n_rows;
-    network_->Send(ChannelKind::kData,
-                   Message{id_, server,
-                           static_cast<uint32_t>(MsgType::kColumnDataRequest),
-                           req.Encode(), plan.task_id});
+    link_.Send(ChannelKind::kData,
+               Message{id_, server,
+                       static_cast<uint32_t>(MsgType::kColumnDataRequest),
+                       req.Encode(), plan.task_id});
   }
 
   if (plan.parent_worker < 0) {
@@ -228,6 +246,15 @@ void Worker::HandleBestSplitNotify(const std::string& payload) {
   std::vector<IxRequest> pending;
   {
     std::lock_guard<std::mutex> lock(task->mu);
+    if (task->is_delegate || task->split_done) {
+      // Replayed verdict: the split was already performed and I_x
+      // consumed; re-splitting would dereference the released index.
+      dup_tasks_->Inc();
+      TS_LOG(kWarn) << "w" << id_
+                    << ": dropped duplicate split verdict for task "
+                    << notify.task_id;
+      return;
+    }
     TS_CHECK(task->ix != nullptr) << "delegate without I_x";
     task->is_delegate = true;
     task->delegate_condition = notify.condition;
@@ -295,6 +322,7 @@ void Worker::HandleTreeRevoke(const std::string& payload) {
 
 void Worker::DataLoop() {
   while (auto msg = network_->data_queue(id_).Pop()) {
+    if (!link_.OnReceive(&*msg, ChannelKind::kData)) continue;
     switch (static_cast<MsgType>(msg->type)) {
       case MsgType::kIxRequest:
         HandleIxRequest(msg->payload);
@@ -327,10 +355,10 @@ void Worker::ServeIx(const TaskPtr& task, const IxRequest& req) {
     resp.rows = *rows;
   }
   span.SetArg("rows", static_cast<int64_t>(resp.rows.size()));
-  network_->Send(ChannelKind::kData,
-                 Message{id_, req.requester_worker,
-                         static_cast<uint32_t>(MsgType::kIxResponse),
-                         resp.Encode(), req.requester_task});
+  link_.Send(ChannelKind::kData,
+             Message{id_, req.requester_worker,
+                     static_cast<uint32_t>(MsgType::kIxResponse),
+                     resp.Encode(), req.requester_task});
 }
 
 void Worker::HandleIxRequest(const std::string& payload) {
@@ -368,6 +396,15 @@ void Worker::HandleIxResponse(const std::string& payload) {
   bool serve_columns = false;
   {
     std::lock_guard<std::mutex> lock(task->mu);
+    if (task->ix != nullptr || task->split_done) {
+      // Replayed I_x: the first copy already landed (and may already
+      // be split); overwriting would double-charge memory and could
+      // re-enqueue the task.
+      dup_tasks_->Inc();
+      TS_LOG(kWarn) << "w" << id_ << ": dropped duplicate I_x for task "
+                    << resp.requester_task;
+      return;
+    }
     task->ix =
         std::make_shared<std::vector<uint32_t>>(std::move(resp.rows));
     task->ChargeMemory(
@@ -401,7 +438,9 @@ void Worker::HandleColumnDataRequest(const std::string& payload) {
   task->tree_id = req.tree_id;
   task->serve = req;
   if (!tasks_.Insert(req.task_id, task)) {
-    TS_LOG(kError) << "worker " << id_ << ": duplicate serve entry";
+    dup_tasks_->Inc();
+    TS_LOG(kWarn) << "w" << id_ << ": dropped duplicate serve request for task "
+                  << req.task_id;
     return;
   }
 
@@ -433,10 +472,10 @@ void Worker::ServeColumns(const TaskPtr& task) {
     key_worker = req.key_worker;
     task_id = req.task_id;
   }
-  network_->Send(ChannelKind::kData,
-                 Message{id_, key_worker,
-                         static_cast<uint32_t>(MsgType::kColumnDataResponse),
-                         resp.Encode(), task_id});
+  link_.Send(ChannelKind::kData,
+             Message{id_, key_worker,
+                     static_cast<uint32_t>(MsgType::kColumnDataResponse),
+                     resp.Encode(), task_id});
   tasks_.Erase(task_id);
 }
 
@@ -448,7 +487,18 @@ void Worker::HandleColumnDataResponse(const std::string& payload) {
   }
   TaskPtr task = Find(resp.task_id);
   if (task == nullptr) return;
+  if (resp.columns.empty()) return;
   std::lock_guard<std::mutex> lock(task->mu);
+  if (task->awaiting_remote == 0 ||
+      std::find(task->gathered_cols.begin(), task->gathered_cols.end(),
+                resp.columns[0]) != task->gathered_cols.end()) {
+    // Replayed column batch: its columns are already gathered (or all
+    // batches are in) — appending again would corrupt the subset.
+    dup_tasks_->Inc();
+    TS_LOG(kWarn) << "w" << id_ << ": dropped duplicate column data for task "
+                  << resp.task_id;
+    return;
+  }
   int64_t bytes = 0;
   for (size_t i = 0; i < resp.columns.size(); ++i) {
     task->gathered_cols.push_back(resp.columns[i]);
@@ -456,7 +506,6 @@ void Worker::HandleColumnDataResponse(const std::string& payload) {
     task->gathered_data.push_back(std::move(resp.data[i]));
   }
   task->ChargeMemory(bytes);
-  TS_CHECK(task->awaiting_remote > 0);
   --task->awaiting_remote;
   CheckSubtreeReady(task, resp.task_id);
 }
@@ -634,7 +683,7 @@ void Worker::ComputeColumnTask(const TaskPtr& task) {
     }
   }
 
-  bool sent = network_->Send(
+  bool sent = link_.Send(
       ChannelKind::kTask,
       Message{id_, kMasterRank,
               static_cast<uint32_t>(MsgType::kColumnTaskResponse),
@@ -696,10 +745,10 @@ void Worker::ComputeSubtreeTask(const TaskPtr& task) {
   BinaryWriter w;
   subtree.Serialize(&w);
   result.tree_bytes = w.Release();
-  network_->Send(ChannelKind::kTask,
-                 Message{id_, kMasterRank,
-                         static_cast<uint32_t>(MsgType::kSubtreeResult),
-                         result.Encode(), plan.task_id});
+  link_.Send(ChannelKind::kTask,
+             Message{id_, kMasterRank,
+                     static_cast<uint32_t>(MsgType::kSubtreeResult),
+                     result.Encode(), plan.task_id});
   tasks_.Erase(plan.task_id);
 }
 

@@ -11,6 +11,7 @@
 #include "concurrent/blocking_queue.h"
 #include "concurrent/concurrent_hash_map.h"
 #include "engine/messages.h"
+#include "engine/reliable.h"
 #include "rpc/transport.h"
 #include "table/binned.h"
 #include "table/data_table.h"
@@ -50,7 +51,8 @@ class Worker {
   /// long first — a deterministic straggler for watchdog tests.
   Worker(int id, std::shared_ptr<const DataTable> table, Transport* network,
          int num_compers, PeakGauge* task_memory, BusyClock* busy_clock,
-         bool compress_transfers = false, int debug_slow_task_ms = 0);
+         bool compress_transfers = false, int debug_slow_task_ms = 0,
+         ReliableOptions reliable = ReliableOptions());
   ~Worker();
 
   Worker(const Worker&) = delete;
@@ -182,6 +184,10 @@ class Worker {
   const int id_;
   const std::shared_ptr<const DataTable> table_;
   Transport* const network_;
+  /// Ack/retransmit + dedup/fencing layer over network_ for the
+  /// engine protocol messages; all reliable-type sends and both
+  /// receive loops route through it.
+  ReliableLink link_;
   const int num_compers_;
   PeakGauge* const task_memory_;
   BusyClock* const busy_clock_;
@@ -192,6 +198,7 @@ class Worker {
   BlockingQueue<ReadyTask> btask_;
   Counter computed_;
   Counter* const computed_counter_;  // "engine.tasks_computed"
+  Counter* const dup_tasks_;        // "engine.duplicate_tasks"
 
   std::mutex binned_mu_;
   std::map<int, std::shared_ptr<const BinnedTable>> binned_;  // by max_bins

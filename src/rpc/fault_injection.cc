@@ -1,0 +1,313 @@
+#include "rpc/fault_injection.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.h"
+
+namespace treeserver {
+
+namespace {
+
+bool ChannelEmpty(const FaultSchedule::ChannelFaults& c) {
+  return c.drop == 0.0 && c.duplicate == 0.0 && c.delay == 0.0 &&
+         c.reorder == 0.0 && c.corrupt == 0.0;
+}
+
+}  // namespace
+
+bool FaultSchedule::Empty() const {
+  for (const ChannelFaults& c : channels) {
+    if (!ChannelEmpty(c)) return false;
+  }
+  return partitions.empty() && stalls.empty() && crashes.empty();
+}
+
+const char* FaultSchedule::ProfileNames() {
+  return "none, drop-heavy, duplicate-storm, partition-heal, mixed";
+}
+
+bool FaultSchedule::Profile(const std::string& name, uint64_t seed,
+                            FaultSchedule* out) {
+  FaultSchedule s;
+  s.seed = seed == 0 ? 1 : seed;
+  // The task and data channels carry the engine protocol the reliable
+  // layer protects; the trace channel is best-effort by design, so the
+  // profiles leave it alone (a dropped snapshot is an observability
+  // gap, not a correctness bug to recover from).
+  FaultSchedule::ChannelFaults& task = s.channels[0];
+  FaultSchedule::ChannelFaults& data = s.channels[1];
+  if (name == "none") {
+    // Empty schedule: the injector is a pass-through (overhead gate).
+  } else if (name == "drop-heavy") {
+    task.drop = 0.10;
+    data.drop = 0.10;
+    task.delay = 0.05;
+    data.delay = 0.05;
+  } else if (name == "duplicate-storm") {
+    task.duplicate = 0.25;
+    data.duplicate = 0.25;
+    task.reorder = 0.05;
+    data.reorder = 0.05;
+  } else if (name == "partition-heal") {
+    // Two transient partitions: worker 1 <-> master (task plane) and
+    // worker 0 <-> worker 2 (data plane), both healed while the
+    // retransmit deadline is still live.
+    s.partitions.push_back({1, kMasterRank, 200, 700});
+    s.partitions.push_back({0, 2, 400, 900});
+    task.drop = 0.02;
+    data.drop = 0.02;
+  } else if (name == "mixed") {
+    task.drop = 0.05;
+    data.drop = 0.05;
+    task.duplicate = 0.10;
+    data.duplicate = 0.10;
+    task.delay = 0.05;
+    data.delay = 0.05;
+    task.reorder = 0.03;
+    data.reorder = 0.03;
+    task.corrupt = 0.02;
+    data.corrupt = 0.02;
+    s.partitions.push_back({2, kMasterRank, 300, 800});
+    s.stalls.push_back({3, 500, 900});
+  } else {
+    return false;
+  }
+  *out = s;
+  return true;
+}
+
+FaultInjectingTransport::FaultInjectingTransport(Transport* inner,
+                                                FaultSchedule schedule)
+    : Transport(inner->num_workers()),
+      inner_(inner),
+      schedule_(std::move(schedule)),
+      active_(!schedule_.Empty()),
+      epoch_(std::chrono::steady_clock::now()),
+      drops_(MetricsRegistry::Global().GetCounter("chaos.drops")),
+      dups_(MetricsRegistry::Global().GetCounter("chaos.dups")),
+      delays_(MetricsRegistry::Global().GetCounter("chaos.delays")),
+      reorders_(MetricsRegistry::Global().GetCounter("chaos.reorders")),
+      corruptions_(MetricsRegistry::Global().GetCounter("chaos.corruptions")),
+      partition_drops_(MetricsRegistry::Global().GetCounter("chaos.partitions")),
+      stall_holds_(MetricsRegistry::Global().GetCounter("chaos.stalls")),
+      crashes_fired_(MetricsRegistry::Global().GetCounter("chaos.crashes")),
+      rng_(schedule_.seed),
+      crash_fired_(schedule_.crashes.size(), false) {
+  if (active_) {
+    delivery_ = std::thread(&FaultInjectingTransport::DeliveryLoop, this);
+  }
+}
+
+FaultInjectingTransport::~FaultInjectingTransport() { Stop(); }
+
+void FaultInjectingTransport::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  cv_.notify_all();
+  if (delivery_.joinable()) delivery_.join();
+}
+
+void FaultInjectingTransport::SetCrashed(int worker) {
+  MarkCrashed(worker);
+  inner_->SetCrashed(worker);
+}
+
+int64_t FaultInjectingTransport::ElapsedMs() const {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+bool FaultInjectingTransport::InPartition(int a, int b,
+                                          int64_t now_ms) const {
+  for (const FaultSchedule::Partition& p : schedule_.partitions) {
+    const bool pair = (p.a == a && p.b == b) || (p.a == b && p.b == a);
+    if (pair && now_ms >= p.start_ms && now_ms < p.end_ms) return true;
+  }
+  return false;
+}
+
+void FaultInjectingTransport::FireDueCrashes(int64_t now_ms) {
+  // Caller holds mu_. SetCrashed forwards outside the lock via the
+  // held queue? No: a crash is rare and the inner call is non-blocking
+  // bookkeeping (DeclareDead / queue close), so firing inline is fine.
+  for (size_t i = 0; i < schedule_.crashes.size(); ++i) {
+    if (!crash_fired_[i] && now_ms >= schedule_.crashes[i].at_ms) {
+      crash_fired_[i] = true;
+      crashes_fired_->Inc();
+      const int rank = schedule_.crashes[i].rank;
+      TS_LOG(kWarn) << "chaos: crashing rank " << rank << " at t=" << now_ms
+                    << "ms";
+      MarkCrashed(rank);
+      inner_->SetCrashed(rank);
+    }
+  }
+}
+
+bool FaultInjectingTransport::Send(ChannelKind channel, Message msg) {
+  if (!active_) return inner_->Send(channel, std::move(msg));
+  // Self-sends bypass injection: they never cross the reliable layer.
+  if (msg.src == msg.dst) return inner_->Send(channel, std::move(msg));
+
+  const int64_t now = ElapsedMs();
+  const FaultSchedule::ChannelFaults& f =
+      schedule_.channels[static_cast<int>(channel)];
+
+  bool drop = false;
+  bool drop_is_partition = false;
+  bool duplicate = false;
+  bool corrupt = false;
+  int64_t hold_ms = -1;  // >= 0: deliver via the delivery thread
+  bool hold_is_stall = false;
+  bool hold_is_reorder = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return inner_->Send(channel, std::move(msg));
+    FireDueCrashes(now);
+    if (InPartition(msg.src, msg.dst, now)) {
+      drop = true;
+      drop_is_partition = true;
+    } else {
+      for (const FaultSchedule::Stall& st : schedule_.stalls) {
+        if (st.rank == msg.src && now >= st.start_ms && now < st.end_ms) {
+          hold_ms = st.end_ms - now;
+          hold_is_stall = true;
+          break;
+        }
+      }
+      if (hold_ms < 0) {
+        // One roll per fault kind, in a fixed order, at most one fires
+        // — keeps the decision sequence reproducible from the seed.
+        if (rng_.Bernoulli(f.drop)) {
+          drop = true;
+        } else if (rng_.Bernoulli(f.corrupt)) {
+          corrupt = true;
+        } else if (rng_.Bernoulli(f.duplicate)) {
+          duplicate = true;
+        } else if (rng_.Bernoulli(f.reorder)) {
+          hold_ms = f.delay_max_ms +
+                    static_cast<int64_t>(rng_.Uniform(
+                        static_cast<uint64_t>(f.delay_max_ms) + 1));
+          hold_is_reorder = true;
+        } else if (rng_.Bernoulli(f.delay)) {
+          hold_ms = rng_.UniformInt(f.delay_min_ms, f.delay_max_ms);
+        }
+      }
+    }
+    if (corrupt && !msg.payload.empty()) {
+      const size_t pos = rng_.Uniform(msg.payload.size());
+      const uint8_t bit = 1u << rng_.Uniform(8);
+      msg.payload[pos] = static_cast<char>(
+          static_cast<uint8_t>(msg.payload[pos]) ^ bit);
+    }
+  }
+
+  if (drop) {
+    (drop_is_partition ? partition_drops_ : drops_)->Inc();
+    // Report success: a dropped frame looks exactly like a sent one to
+    // the caller; recovery is the reliable layer's job.
+    return true;
+  }
+  if (corrupt) corruptions_->Inc();
+  if (hold_ms >= 0) {
+    (hold_is_stall ? stall_holds_ : (hold_is_reorder ? reorders_ : delays_))
+        ->Inc();
+    HoldMessage(channel, std::move(msg), hold_ms);
+    return true;
+  }
+  if (duplicate) {
+    dups_->Inc();
+    Message copy = msg;
+    const bool ok = inner_->Send(channel, std::move(msg));
+    // The twin arrives a moment later (possibly after other traffic).
+    HoldMessage(channel, std::move(copy),
+                std::max<int64_t>(1, schedule_.channels[0].delay_min_ms));
+    return ok;
+  }
+  return inner_->Send(channel, std::move(msg));
+}
+
+void FaultInjectingTransport::HoldMessage(ChannelKind channel, Message msg,
+                                          int64_t hold_ms) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) {
+      // Delivery thread is gone: deliver inline instead of losing it.
+      inner_->Send(channel, std::move(msg));
+      return;
+    }
+    Held h;
+    h.due_ms = ElapsedMs() + std::max<int64_t>(0, hold_ms);
+    h.order = next_order_++;
+    h.channel = channel;
+    h.msg = std::move(msg);
+    held_.push_back(std::move(h));
+  }
+  cv_.notify_all();
+}
+
+void FaultInjectingTransport::DeliveryLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    if (stopped_) break;
+    FireDueCrashes(ElapsedMs());
+    int64_t next_due = -1;
+    for (const Held& h : held_) {
+      if (next_due < 0 || h.due_ms < next_due) next_due = h.due_ms;
+    }
+    for (size_t i = 0; i < schedule_.crashes.size(); ++i) {
+      if (!crash_fired_[i] && (next_due < 0 ||
+                               schedule_.crashes[i].at_ms < next_due)) {
+        next_due = schedule_.crashes[i].at_ms;
+      }
+    }
+    const int64_t now = ElapsedMs();
+    if (next_due < 0) {
+      cv_.wait(lock, [&] { return stopped_ || !held_.empty(); });
+      continue;
+    }
+    if (next_due > now) {
+      cv_.wait_for(lock, std::chrono::milliseconds(next_due - now),
+                   [&] { return stopped_; });
+      continue;
+    }
+    // Release everything due, oldest decision first so two messages
+    // with the same deadline keep their relative order.
+    std::vector<Held> due;
+    for (size_t i = 0; i < held_.size();) {
+      if (held_[i].due_ms <= now) {
+        due.push_back(std::move(held_[i]));
+        held_[i] = std::move(held_.back());
+        held_.pop_back();
+      } else {
+        ++i;
+      }
+    }
+    std::sort(due.begin(), due.end(), [](const Held& a, const Held& b) {
+      return a.order < b.order;
+    });
+    lock.unlock();
+    for (Held& h : due) {
+      inner_->Send(h.channel, std::move(h.msg));
+    }
+    lock.lock();
+  }
+  // Stop(): flush the remainder so no message is silently lost — the
+  // run is winding down and late delivery is indistinguishable from a
+  // long delay.
+  std::vector<Held> rest = std::move(held_);
+  held_.clear();
+  lock.unlock();
+  std::sort(rest.begin(), rest.end(), [](const Held& a, const Held& b) {
+    return a.order < b.order;
+  });
+  for (Held& h : rest) {
+    inner_->Send(h.channel, std::move(h.msg));
+  }
+}
+
+}  // namespace treeserver

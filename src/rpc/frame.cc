@@ -11,12 +11,13 @@ namespace {
 
 void AppendHeaderAndPayload(uint8_t wire_channel, uint32_t msg_type,
                             int32_t src, int32_t dst, uint64_t trace_id,
-                            const std::string& payload, std::string* out) {
+                            const std::string& payload, std::string* out,
+                            uint16_t generation) {
   BinaryWriter w;
   w.Write<uint32_t>(kFrameMagic);
   w.Write<uint8_t>(kFrameVersion);
   w.Write<uint8_t>(wire_channel);
-  w.Write<uint16_t>(0);  // reserved
+  w.Write<uint16_t>(generation);
   w.Write<uint32_t>(msg_type);
   w.Write<int32_t>(src);
   w.Write<int32_t>(dst);
@@ -31,15 +32,17 @@ void AppendHeaderAndPayload(uint8_t wire_channel, uint32_t msg_type,
 
 }  // namespace
 
-void AppendFrame(uint8_t wire_channel, const Message& msg, std::string* out) {
+void AppendFrame(uint8_t wire_channel, const Message& msg, std::string* out,
+                 uint16_t generation) {
   AppendHeaderAndPayload(wire_channel, msg.type, msg.src, msg.dst,
-                         msg.trace_id, msg.payload, out);
+                         msg.trace_id, msg.payload, out, generation);
 }
 
 void AppendControlFrame(uint32_t ctrl_type, int src, int dst,
-                        const std::string& payload, std::string* out) {
+                        const std::string& payload, std::string* out,
+                        uint16_t generation) {
   AppendHeaderAndPayload(kWireChannelControl, ctrl_type, src, dst,
-                         /*trace_id=*/0, payload, out);
+                         /*trace_id=*/0, payload, out, generation);
 }
 
 Status ParseFrameHeader(const char* data, size_t len, FrameHeader* out) {
@@ -48,12 +51,11 @@ Status ParseFrameHeader(const char* data, size_t len, FrameHeader* out) {
   }
   BinaryReader r(data, kFrameHeaderBytes);
   uint32_t magic = 0;
-  uint16_t reserved = 0;
   FrameHeader h;
   TS_RETURN_IF_ERROR(r.Read(&magic));
   TS_RETURN_IF_ERROR(r.Read(&h.version));
   TS_RETURN_IF_ERROR(r.Read(&h.channel));
-  TS_RETURN_IF_ERROR(r.Read(&reserved));
+  TS_RETURN_IF_ERROR(r.Read(&h.src_generation));
   TS_RETURN_IF_ERROR(r.Read(&h.msg_type));
   TS_RETURN_IF_ERROR(r.Read(&h.src));
   TS_RETURN_IF_ERROR(r.Read(&h.dst));
@@ -74,7 +76,7 @@ Status ParseFrameHeader(const char* data, size_t len, FrameHeader* out) {
   if (h.version != kFrameVersion) {
     return Status::Corruption("frame: unsupported version");
   }
-  if (h.channel > kMaxWireChannel || reserved != 0) {
+  if (h.channel > kMaxWireChannel) {
     return Status::Corruption("frame: bad channel");
   }
   if (h.payload_len > kMaxFramePayload) {

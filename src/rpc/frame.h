@@ -15,7 +15,7 @@ namespace treeserver {
 ///        0     4  magic          0x54535246 ("TSRF")
 ///        4     1  format version (kFrameVersion)
 ///        5     1  channel        0 task, 1 data, 2 control, 3 trace
-///        6     2  reserved       must be 0
+///        6     2  src_generation sender's fencing epoch (0 = initial)
 ///        8     4  msg_type       engine MsgType, or kCtrl* on control
 ///       12     4  src rank       int32 (-1 = master)
 ///       16     4  dst rank       int32 (-1 = master)
@@ -57,6 +57,7 @@ inline constexpr uint32_t kCtrlHeartbeat = 2;
 struct FrameHeader {
   uint8_t version = kFrameVersion;
   uint8_t channel = kWireChannelTask;
+  uint16_t src_generation = 0;
   uint32_t msg_type = 0;
   int32_t src = 0;
   int32_t dst = 0;
@@ -66,11 +67,16 @@ struct FrameHeader {
 };
 
 /// Appends one fully framed message (header + payload) to `out`.
-void AppendFrame(uint8_t wire_channel, const Message& msg, std::string* out);
+/// `generation` is the sender's fencing epoch: a restarted process
+/// announces a higher value so frames from its previous incarnation
+/// (a healed partition's "zombie") can be recognised and dropped.
+void AppendFrame(uint8_t wire_channel, const Message& msg, std::string* out,
+                 uint16_t generation = 0);
 
 /// Convenience for control frames (hello / heartbeat).
 void AppendControlFrame(uint32_t ctrl_type, int src, int dst,
-                        const std::string& payload, std::string* out);
+                        const std::string& payload, std::string* out,
+                        uint16_t generation = 0);
 
 /// Parses and validates the 40-byte header at `data` (`len` >=
 /// kFrameHeaderBytes). Checks magic, header CRC, version, channel and

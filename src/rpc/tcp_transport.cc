@@ -117,7 +117,8 @@ bool ParseHostPort(const std::string& addr, std::string* host,
 TcpTransport::TcpTransport(const TcpTransportOptions& options)
     : Transport(options.num_workers),
       opts_(options),
-      local_rank_(options.local_rank) {
+      local_rank_(options.local_rank),
+      fenced_msgs_(MetricsRegistry::Global().GetCounter("engine.fenced_msgs")) {
   TS_CHECK(local_rank_ == kMasterRank ||
            (local_rank_ >= 0 && local_rank_ < num_workers_))
       << "bad local rank " << local_rank_;
@@ -253,7 +254,7 @@ bool TcpTransport::Send(ChannelKind channel, Message msg) {
   Peer* peer = PeerFor(msg.dst);
   std::string buf;
   buf.reserve(kFrameHeaderBytes + msg.payload.size());
-  AppendFrame(WireChannelFor(channel), msg, &buf);
+  AppendFrame(WireChannelFor(channel), msg, &buf, opts_.generation);
   uint64_t waited = 0;
   const bool ok =
       EnqueueFrame(peer, std::move(buf), /*control=*/false,
@@ -297,9 +298,10 @@ void TcpTransport::SenderLoop(Peer* peer) {
       }
       BinaryWriter hello;
       hello.Write<int32_t>(local_rank_);
+      hello.Write<uint32_t>(opts_.generation);
       std::string frame;
       AppendControlFrame(kCtrlHello, local_rank_, peer->rank, hello.buffer(),
-                         &frame);
+                         &frame, opts_.generation);
       if (!SendAll(fd, frame)) {
         ::close(fd);
         continue;
@@ -431,6 +433,9 @@ void TcpTransport::ReadLoop(Conn* conn) {
       src_rank = rank;
       conn->rank.store(rank);
       Peer* peer = PeerFor(rank);
+      if (h.src_generation > peer->generation.load(std::memory_order_relaxed)) {
+        peer->generation.store(h.src_generation, std::memory_order_relaxed);
+      }
       peer->last_heard_ms.store(NowMs());
       peer->ever_connected_in.store(true);
       continue;
@@ -440,7 +445,30 @@ void TcpTransport::ReadLoop(Conn* conn) {
                      << " does not match connection rank " << src_rank;
       break;
     }
-    PeerFor(src_rank)->last_heard_ms.store(NowMs());
+    Peer* src_peer = PeerFor(src_rank);
+    {
+      // Fencing: a frame announcing an older epoch than the highest we
+      // have seen is a straggler from the peer's previous incarnation
+      // (e.g. surfacing after a partition heals) — drop it without even
+      // refreshing liveness, so a zombie cannot keep its rank "alive".
+      const uint16_t known = src_peer->generation.load(std::memory_order_relaxed);
+      if (h.src_generation > known) {
+        src_peer->generation.store(h.src_generation, std::memory_order_relaxed);
+      } else if (h.src_generation < known) {
+        fenced_msgs_->Inc();
+        CountDrop(src_rank);
+        continue;
+      }
+    }
+    if (src_peer->dead.load(std::memory_order_relaxed) &&
+        h.channel != kWireChannelControl) {
+      // The peer was already declared dead (the engine has been told);
+      // late engine frames from it must not reach the mailboxes.
+      fenced_msgs_->Inc();
+      CountDrop(src_rank);
+      continue;
+    }
+    src_peer->last_heard_ms.store(NowMs());
     if (h.channel == kWireChannelControl) {
       if (h.msg_type == kCtrlHeartbeat && payload.size() >= 3 * sizeof(uint64_t)) {
         // Heartbeat with clock-sync payload: remember the peer's send
@@ -519,7 +547,7 @@ void TcpTransport::HeartbeatLoop() {
       hb.Write<uint64_t>(echo == 0 || now_ns < rx_ns ? 0 : now_ns - rx_ns);
       std::string frame;
       AppendControlFrame(kCtrlHeartbeat, local_rank_, peer->rank, hb.buffer(),
-                         &frame);
+                         &frame, opts_.generation);
       // Heartbeats bypass the send bound: 64 bytes each, and blocking
       // the monitor on a backpressured peer would blind it.
       EnqueueFrame(peer.get(), std::move(frame), /*control=*/true,

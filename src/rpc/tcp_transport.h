@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/clock_sync.h"
+#include "common/metrics_registry.h"
 #include "common/status.h"
 #include "rpc/transport.h"
 
@@ -35,6 +36,11 @@ struct TcpTransportOptions {
   /// Bound on each peer's outbound buffer; Send() blocks when it is
   /// full (backpressure) instead of growing the heap without limit.
   size_t send_buffer_limit_bytes = 64u << 20;
+  /// Fencing epoch stamped into every outgoing frame (rpc/frame.h). A
+  /// restarted process announces a bumped value; receivers drop frames
+  /// carrying an older generation ("zombies" from the previous
+  /// incarnation surfacing after a partition heals).
+  uint16_t generation = 0;
 };
 
 /// Real-socket Transport: one process per rank, length-prefixed CRC'd
@@ -135,6 +141,9 @@ class TcpTransport : public Transport {
     std::atomic<uint64_t> heartbeat_misses{0};
     int consecutive_misses = 0;  // heartbeat thread only
     std::atomic<bool> dead{false};
+    /// Highest fencing epoch seen from this peer; frames announcing an
+    /// older one are counted and dropped (see ReadLoop).
+    std::atomic<uint16_t> generation{0};
 
     /// Clock-sync state. The reader thread stamps the peer's last
     /// heartbeat (its t_send, and our trace clock at arrival) for the
@@ -183,6 +192,9 @@ class TcpTransport : public Transport {
 
   const TcpTransportOptions opts_;
   const int local_rank_;
+  /// "engine.fenced_msgs": frames dropped because their sender was
+  /// already declared dead or announced a stale fencing epoch.
+  Counter* const fenced_msgs_;
   uint16_t listen_port_ = 0;
   int listen_fd_ = -1;
 

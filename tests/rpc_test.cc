@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/metrics_registry.h"
 #include "engine/cluster.h"
 #include "engine/master.h"
 #include "engine/messages.h"
@@ -136,23 +137,31 @@ TEST(FrameTest, WrongVersionRejectedEvenWithValidCrc) {
   EXPECT_FALSE(DecodeFrame(buf, &header, &payload).ok());
 }
 
-TEST(FrameTest, BadChannelAndReservedRejected) {
-  {
-    std::string buf = FrameOf(TestMessage());
-    buf[5] = 7;  // not a wire channel
-    FixHeaderCrc(&buf);
-    FrameHeader header;
-    std::string payload;
-    EXPECT_FALSE(DecodeFrame(buf, &header, &payload).ok());
-  }
-  {
-    std::string buf = FrameOf(TestMessage());
-    buf[6] = 1;  // reserved must be zero
-    FixHeaderCrc(&buf);
-    FrameHeader header;
-    std::string payload;
-    EXPECT_FALSE(DecodeFrame(buf, &header, &payload).ok());
-  }
+TEST(FrameTest, BadChannelRejected) {
+  std::string buf = FrameOf(TestMessage());
+  buf[5] = 7;  // not a wire channel
+  FixHeaderCrc(&buf);
+  FrameHeader header;
+  std::string payload;
+  EXPECT_FALSE(DecodeFrame(buf, &header, &payload).ok());
+}
+
+TEST(FrameTest, GenerationRoundTrips) {
+  const Message msg = TestMessage();
+  std::string buf;
+  AppendFrame(kWireChannelData, msg, &buf, /*generation=*/7);
+  FrameHeader header;
+  std::string payload;
+  ASSERT_TRUE(DecodeFrame(buf, &header, &payload).ok());
+  EXPECT_EQ(header.src_generation, 7u);
+  EXPECT_EQ(payload, msg.payload);
+
+  // The default generation is 0 — byte-identical to pre-fencing frames
+  // whose reserved field was required to be zero.
+  std::string old_style;
+  AppendFrame(kWireChannelData, msg, &old_style);
+  ASSERT_TRUE(DecodeFrame(old_style, &header, &payload).ok());
+  EXPECT_EQ(header.src_generation, 0u);
 }
 
 TEST(FrameTest, OversizedLengthRejectedBeforeAllocation) {
@@ -428,6 +437,114 @@ TEST(TcpTransportTest, HeartbeatDetectsDeadPeer) {
   EXPECT_TRUE(pair.master->IsCrashed(0));
   NetworkStats stats = pair.master->GetStats();
   EXPECT_GT(stats.endpoints[0].heartbeat_misses, 0u);
+}
+
+TEST(TcpTransportTest, PeerDeclaredDeadExactlyOnce) {
+  TcpPair pair(/*heartbeat_ms=*/10, /*miss_limit=*/4);
+  std::atomic<int> dead_calls{0};
+  pair.master->SetPeerDeadCallback([&](int rank) {
+    if (rank == 0) dead_calls.fetch_add(1);
+  });
+  pair.Connect();
+  pair.worker->Shutdown();
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (dead_calls.load() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(dead_calls.load(), 1);
+  // Keep the heartbeat thread running well past more miss windows, and
+  // poke the crash path again: the callback must never re-fire.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  pair.master->SetCrashed(0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_EQ(dead_calls.load(), 1);
+}
+
+TEST(TcpTransportTest, FramesFromDeadPeerAreFencedAndCounted) {
+  TcpPair pair;
+  pair.Connect();
+  Counter* fenced = MetricsRegistry::Global().GetCounter("engine.fenced_msgs");
+  const uint64_t before = fenced->value();
+
+  // The master declares worker 0 dead; the worker does not know (a
+  // healed partition's zombie) and keeps sending engine frames. They
+  // must be counted and dropped before reaching the mailboxes.
+  pair.master->SetCrashed(0);
+  while (pair.master->master_queue().TryPop().has_value()) {
+  }
+  Message msg;
+  msg.src = 0;
+  msg.dst = kMasterRank;
+  msg.type = 10;
+  msg.payload = "zombie result";
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (fenced->value() == before &&
+         std::chrono::steady_clock::now() < deadline) {
+    pair.worker->Send(ChannelKind::kTask, msg);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GT(fenced->value(), before);
+  EXPECT_FALSE(pair.master->master_queue().TryPop().has_value());
+}
+
+TEST(TcpTransportTest, StaleGenerationFramesAreFenced) {
+  // Incarnation 2 of worker 0 handshakes with the master; a lingering
+  // incarnation-0 connection then delivers a frame. The master must
+  // fence the stale generation rather than hand it to the engine.
+  TcpTransportOptions mo;
+  mo.num_workers = 1;
+  mo.local_rank = kMasterRank;
+  auto master = std::make_unique<TcpTransport>(mo);
+
+  TcpTransportOptions wo = mo;
+  wo.local_rank = 0;
+  wo.generation = 2;
+  auto worker_new = std::make_unique<TcpTransport>(wo);
+
+  const std::vector<std::string> peers = {
+      "127.0.0.1:" + std::to_string(worker_new->local_port()),
+      "127.0.0.1:" + std::to_string(master->local_port())};
+  ASSERT_TRUE(master->ConnectPeers(peers).ok());
+  ASSERT_TRUE(worker_new->ConnectPeers(peers).ok());
+  ASSERT_TRUE(master->WaitForPeers(10000));
+  ASSERT_TRUE(worker_new->WaitForPeers(10000));
+
+  // A generation-2 frame flows through normally.
+  Message msg;
+  msg.src = 0;
+  msg.dst = kMasterRank;
+  msg.type = 10;
+  msg.payload = "fresh";
+  ASSERT_TRUE(worker_new->Send(ChannelKind::kTask, msg));
+  auto got = master->master_queue().Pop();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->payload, "fresh");
+
+  // The zombie incarnation (default generation 0) dials in and sends.
+  TcpTransportOptions zo = wo;
+  zo.generation = 0;
+  auto worker_old = std::make_unique<TcpTransport>(zo);
+  ASSERT_TRUE(worker_old->ConnectPeers(peers).ok());
+  Counter* fenced = MetricsRegistry::Global().GetCounter("engine.fenced_msgs");
+  const uint64_t before = fenced->value();
+  msg.payload = "stale";
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (fenced->value() == before &&
+         std::chrono::steady_clock::now() < deadline) {
+    worker_old->Send(ChannelKind::kTask, msg);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GT(fenced->value(), before);
+  EXPECT_FALSE(master->master_queue().TryPop().has_value());
+
+  worker_old->Shutdown();
+  worker_new->Shutdown();
+  master->Shutdown();
 }
 
 // ---------------------------------------------------------------------------

@@ -36,6 +36,12 @@ echo "== serve smoke: quickstart example + quick serving bench =="
 echo "== rpc smoke: quick transport bench =="
 ./build/bench/bench_rpc --quick
 
+echo "== chaos smoke: injector overhead guard + fixed-seed mixed profile =="
+./build/bench/bench_rpc --chaos-overhead
+TREESERVER_NODE=./build/tools/treeserver_node \
+  CHAOS_PROFILES="mixed" CHAOS_SEED=20260808 \
+  bash tools/chaos_test.sh
+
 echo "== observability smoke: top self-test + overhead guard =="
 ./build/tools/treeserver_top --self-test
 ./build/bench/bench_micro --obs-overhead
@@ -49,9 +55,13 @@ echo "== tsan: configure + build =="
 cmake -B build-tsan -S . -DTS_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j
 
-echo "== tsan: concurrent_test + engine_stress_test + serve + rpc + obs =="
+echo "== tsan: concurrent_test + engine_stress_test + serve + rpc + obs + chaos =="
+# Chaos*/Reliable*/FaultInject* run the seeded fault injector, the
+# ack/retransmit layer and a full chaos training job under TSan — the
+# injector's delivery thread and the retransmit thread touch every
+# engine queue concurrently, exactly the interleavings TSan exists for.
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/treeserver_tests \
-  --gtest_filter='BlockingQueue*:ConcurrentHashMap*:PlanDeque*:EngineStress*:InferenceServer*:ModelRegistry*:TcpTransport*:TcpCluster*:HttpServer*:StatsReporter*:Watchdog*:TracerTest*'
+  --gtest_filter='BlockingQueue*:ConcurrentHashMap*:PlanDeque*:EngineStress*:InferenceServer*:ModelRegistry*:TcpTransport*:TcpCluster*:HttpServer*:StatsReporter*:Watchdog*:TracerTest*:Chaos*:Reliable*:FaultInject*'
 
 echo "== ubsan: configure + build =="
 cmake -B build-ubsan -S . -DTS_SANITIZE=undefined >/dev/null

@@ -32,11 +32,13 @@
 #include "common/prometheus.h"
 #include "common/trace.h"
 #include "common/trace_merge.h"
+#include "engine/checkpoint_io.h"
 #include "engine/cluster.h"
 #include "engine/master.h"
 #include "engine/stats_reporter.h"
 #include "engine/worker.h"
 #include "forest/forest.h"
+#include "rpc/fault_injection.h"
 #include "rpc/tcp_transport.h"
 #include "table/datasets.h"
 
@@ -73,6 +75,17 @@ struct NodeOptions {
   int64_t heartbeat_ms = 50;
   int miss_limit = 20;
   int64_t wait_peers_ms = 30000;
+  // Fencing epoch stamped into every frame; a restarted rank passes a
+  // higher value so its previous incarnation's stragglers are dropped.
+  uint16_t generation = 0;
+
+  // Chaos: wrap the transport in a seeded FaultInjectingTransport.
+  std::string chaos_profile;  // empty = no injection
+  uint64_t chaos_seed = 1;
+
+  // Durable master checkpoints (written to <dir>/master.ckpt).
+  std::string checkpoint_dir;
+  int64_t checkpoint_period_ms = 500;
 
   std::string out;  // master: file for the serialized forest
 
@@ -126,6 +139,16 @@ void Usage() {
       "  --job-seed --compers --replication --tau-d --tau-dfs\n"
       "  --compress --stats-period --heartbeat-ms --miss-limit\n"
       "  --wait-peers-ms\n"
+      "  --generation=N            fencing epoch stamped into frames; a\n"
+      "                            restarted rank announces a higher one\n"
+      "  --chaos-profile=NAME      inject transport faults: none,\n"
+      "                            drop-heavy, duplicate-storm,\n"
+      "                            partition-heal, mixed\n"
+      "  --chaos-seed=N            RNG seed for the fault schedule\n"
+      "  --checkpoint-dir=DIR      master: durable CRC'd checkpoints in\n"
+      "                            DIR/master.ckpt (restored at startup\n"
+      "                            when present)\n"
+      "  --checkpoint-period-ms=N  checkpoint cadence (default 500)\n"
       "  --http-port=P             introspection HTTP endpoint (/metrics,\n"
       "                            /healthz, /statusz); -1 off (default),\n"
       "                            0 ephemeral\n"
@@ -207,6 +230,16 @@ bool ParseArgs(int argc, char** argv, NodeOptions* opt) {
       opt->miss_limit = std::atoi(v.c_str());
     } else if (ParseFlag(arg, "wait-peers-ms", &v)) {
       opt->wait_peers_ms = std::atoll(v.c_str());
+    } else if (ParseFlag(arg, "generation", &v)) {
+      opt->generation = static_cast<uint16_t>(std::atoi(v.c_str()));
+    } else if (ParseFlag(arg, "chaos-profile", &v)) {
+      opt->chaos_profile = v;
+    } else if (ParseFlag(arg, "chaos-seed", &v)) {
+      opt->chaos_seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "checkpoint-dir", &v)) {
+      opt->checkpoint_dir = v;
+    } else if (ParseFlag(arg, "checkpoint-period-ms", &v)) {
+      opt->checkpoint_period_ms = std::atoll(v.c_str());
     } else if (ParseFlag(arg, "http-port", &v)) {
       opt->http_port = std::atoi(v.c_str());
     } else if (ParseFlag(arg, "trace", &v)) {
@@ -282,7 +315,25 @@ std::unique_ptr<TcpTransport> MakeTransport(const NodeOptions& opt) {
   topt.listen_port = PortOfPeerEntry(opt);
   topt.heartbeat_period_ms = opt.heartbeat_ms;
   topt.heartbeat_miss_limit = opt.miss_limit;
+  topt.generation = opt.generation;
   return std::make_unique<TcpTransport>(topt);
+}
+
+/// Builds the fault injector for --chaos-profile, or null (no chaos).
+/// Exits with a usage error on an unknown profile name.
+std::unique_ptr<FaultInjectingTransport> MakeChaos(const NodeOptions& opt,
+                                                   Transport* inner) {
+  if (opt.chaos_profile.empty()) return nullptr;
+  FaultSchedule schedule;
+  if (!FaultSchedule::Profile(opt.chaos_profile, opt.chaos_seed, &schedule)) {
+    std::fprintf(stderr, "unknown --chaos-profile=%s (profiles: %s)\n",
+                 opt.chaos_profile.c_str(), FaultSchedule::ProfileNames());
+    std::exit(1);
+  }
+  std::fprintf(stderr, "chaos: rank %d injecting profile '%s' seed %llu\n",
+               opt.rank, opt.chaos_profile.c_str(),
+               static_cast<unsigned long long>(opt.chaos_seed));
+  return std::make_unique<FaultInjectingTransport>(inner, schedule);
 }
 
 // The registry holds engine.* / trace.* metrics; transport counters
@@ -410,7 +461,41 @@ int RunMaster(const NodeOptions& opt) {
   if (opt.trace) Tracer::Global().Enable();
   auto table = std::make_shared<const DataTable>(MakeTable(opt));
   auto transport = MakeTransport(opt);
-  Master master(table, transport.get(), opt.engine);
+  // The engine talks to the injector (when chaos is on); TCP-specific
+  // plumbing (handshake, callbacks, shutdown) stays on the inner
+  // transport the decorator does not re-implement.
+  std::unique_ptr<FaultInjectingTransport> chaos =
+      MakeChaos(opt, transport.get());
+  Transport* engine_net =
+      chaos != nullptr ? static_cast<Transport*>(chaos.get())
+                       : static_cast<Transport*>(transport.get());
+  Master master(table, engine_net, opt.engine);
+  const std::string ckpt_path =
+      opt.checkpoint_dir.empty() ? "" : opt.checkpoint_dir + "/master.ckpt";
+  if (!ckpt_path.empty()) {
+    std::string snapshot;
+    Status load = LoadCheckpoint(ckpt_path, &snapshot);
+    if (load.ok()) {
+      Status restored = master.Restore(snapshot);
+      if (!restored.ok()) {
+        std::fprintf(stderr, "master: checkpoint restore failed: %s\n",
+                     restored.ToString().c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "master: restored %s (epoch now %u)\n",
+                   ckpt_path.c_str(), master.epoch());
+    } else if (load.code() == StatusCode::kIOError) {
+      // No checkpoint yet: a cold start.
+      std::fprintf(stderr, "master: no checkpoint at %s, cold start\n",
+                   ckpt_path.c_str());
+    } else {
+      // A torn or bit-flipped checkpoint must fail loudly, never
+      // restore silently-wrong job state.
+      std::fprintf(stderr, "master: refusing corrupt checkpoint: %s\n",
+                   load.ToString().c_str());
+      return 1;
+    }
+  }
   std::unique_ptr<HttpServer> http =
       StartNodeHttp(opt, transport.get(), [&master, &transport] {
         MasterStats s = master.GetStats();
@@ -426,6 +511,14 @@ int RunMaster(const NodeOptions& opt) {
                ",\"heartbeat_misses\":" +
                std::to_string(SumEndpoint(
                    net, &NetworkStats::Endpoint::heartbeat_misses)) +
+               ",\"retransmits\":" +
+               std::to_string(MetricsRegistry::Global()
+                                  .GetCounter("engine.retransmits")
+                                  ->value()) +
+               ",\"fenced_msgs\":" +
+               std::to_string(MetricsRegistry::Global()
+                                  .GetCounter("engine.fenced_msgs")
+                                  ->value()) +
                ",\"rss_bytes\":" + std::to_string(CurrentRssBytes()) + "}\n";
       });
   transport->SetPeerDeadCallback([&](int rank) {
@@ -453,8 +546,39 @@ int RunMaster(const NodeOptions& opt) {
     reporter->Start();
   }
   master.Start();
+  // Durable checkpoints: a background thread snapshots the master and
+  // writes an atomically-renamed, CRC-trailered file every period.
+  std::atomic<bool> ckpt_stop{false};
+  std::thread ckpt_thread;
+  if (!ckpt_path.empty() && opt.checkpoint_period_ms > 0) {
+    ckpt_thread = std::thread([&] {
+      while (!ckpt_stop.load()) {
+        for (int64_t slept = 0;
+             slept < opt.checkpoint_period_ms && !ckpt_stop.load();
+             slept += 20) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        }
+        if (ckpt_stop.load()) break;
+        Status st = SaveCheckpoint(ckpt_path, master.Checkpoint());
+        if (!st.ok()) {
+          std::fprintf(stderr, "master: checkpoint write failed: %s\n",
+                       st.ToString().c_str());
+        }
+      }
+    });
+  }
   uint32_t job = master.Submit(MakeJob(opt));
   ForestModel model = master.Wait(job);
+  ckpt_stop.store(true);
+  if (ckpt_thread.joinable()) ckpt_thread.join();
+  if (!ckpt_path.empty()) {
+    // One final snapshot so the file reflects the completed job.
+    Status st = SaveCheckpoint(ckpt_path, master.Checkpoint());
+    if (!st.ok()) {
+      std::fprintf(stderr, "master: final checkpoint failed: %s\n",
+                   st.ToString().c_str());
+    }
+  }
   if (reporter != nullptr) reporter->ReportNow("job-complete");
   reporter.reset();
   if (!opt.out.empty() && !WriteForest(model, opt.out)) {
@@ -476,6 +600,7 @@ int RunMaster(const NodeOptions& opt) {
   // Give the shutdown frames a moment to flush before tearing down.
   std::this_thread::sleep_for(std::chrono::milliseconds(100));
   master.Stop();
+  if (chaos != nullptr) chaos->Stop();  // before the inner transport dies
   if (http != nullptr) http->Stop();
   transport->Shutdown();
   std::fprintf(stderr, "master: trained %zu trees\n", model.num_trees());
@@ -499,14 +624,20 @@ int RunWorker(const NodeOptions& opt) {
     std::fprintf(stderr, "worker %d: peers did not connect\n", opt.rank);
     return 1;
   }
+  std::unique_ptr<FaultInjectingTransport> chaos =
+      MakeChaos(opt, transport.get());
+  Transport* engine_net =
+      chaos != nullptr ? static_cast<Transport*>(chaos.get())
+                       : static_cast<Transport*>(transport.get());
   PeakGauge task_memory;
   BusyClock busy;
-  Worker worker(opt.rank, table, transport.get(),
+  Worker worker(opt.rank, table, engine_net,
                 opt.engine.compers_per_worker, &task_memory, &busy,
                 opt.engine.compress_transfers,
                 opt.rank == opt.engine.debug_slow_worker
                     ? opt.engine.debug_slow_task_ms
-                    : 0);
+                    : 0,
+                opt.engine.ReliableConfig());
   std::unique_ptr<HttpServer> http =
       StartNodeHttp(opt, transport.get(), [&opt, &worker, &transport] {
         WorkerStats s = worker.GetStats();
@@ -522,6 +653,14 @@ int RunWorker(const NodeOptions& opt) {
                ",\"heartbeat_misses\":" +
                std::to_string(SumEndpoint(
                    net, &NetworkStats::Endpoint::heartbeat_misses)) +
+               ",\"retransmits\":" +
+               std::to_string(MetricsRegistry::Global()
+                                  .GetCounter("engine.retransmits")
+                                  ->value()) +
+               ",\"fenced_msgs\":" +
+               std::to_string(MetricsRegistry::Global()
+                                  .GetCounter("engine.fenced_msgs")
+                                  ->value()) +
                ",\"rss_bytes\":" + std::to_string(CurrentRssBytes()) + "}\n";
       });
   worker.Start();
@@ -532,6 +671,7 @@ int RunWorker(const NodeOptions& opt) {
   }
   transport->CloseAll();
   worker.Join();
+  if (chaos != nullptr) chaos->Stop();  // before the inner transport dies
   if (http != nullptr) http->Stop();
   transport->Shutdown();
   std::fprintf(stderr, "worker %d: exiting (%s)\n", opt.rank,

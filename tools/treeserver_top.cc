@@ -72,8 +72,9 @@ int Fetch(const std::string& target) {
 int Dashboard(const std::vector<std::string>& endpoints, int watch_seconds) {
   do {
     if (watch_seconds > 0) std::printf("\x1b[H\x1b[2J");
-    std::printf("%-22s %-8s %10s %10s %10s %8s %10s\n", "endpoint", "role",
-                "in-flight", "queued", "computed", "slow", "rss(MB)");
+    std::printf("%-22s %-8s %10s %10s %10s %8s %8s %7s %10s\n", "endpoint",
+                "role", "in-flight", "queued", "computed", "slow", "retrans",
+                "fenced", "rss(MB)");
     for (const std::string& ep : endpoints) {
       std::string host, path;
       int port = 0;
@@ -96,9 +97,10 @@ int Dashboard(const std::vector<std::string>& endpoints, int watch_seconds) {
                                    : v.NumberOr("tasks_parked", 0);
       const double queued = role == "master" ? v.NumberOr("bplan_depth", 0)
                                              : v.NumberOr("btask_depth", 0);
-      std::printf("%-22s %-8s %10.0f %10.0f %10.0f %8.0f %10.1f\n", ep.c_str(),
-                  role.c_str(), in_flight, queued,
+      std::printf("%-22s %-8s %10.0f %10.0f %10.0f %8.0f %8.0f %7.0f %10.1f\n",
+                  ep.c_str(), role.c_str(), in_flight, queued,
                   v.NumberOr("tasks_computed", 0), v.NumberOr("slow_tasks", 0),
+                  v.NumberOr("retransmits", 0), v.NumberOr("fenced_msgs", 0),
                   v.NumberOr("rss_bytes", 0) / (1024.0 * 1024.0));
     }
     std::fflush(stdout);
