@@ -1,24 +1,36 @@
 // Inference-serving benchmark: compiled batched prediction vs the
 // row-at-a-time ForestModel reference, thread scaling of the batched
-// path, and end-to-end micro-batching server throughput with latency
-// percentiles from the metrics registry.
+// path, end-to-end micro-batching server throughput with latency
+// percentiles from the metrics registry, and a replicated-fleet mode
+// (router + N in-process replicas) sweeping sustained QPS and
+// p99/p999 against replica count.
 //
 // Expected shape: the compiled structure-of-arrays traversal beats
 // row-at-a-time prediction by well over 5x on one thread (no per-row
 // PMF vector allocations, one tree's nodes stay hot across a whole row
 // block), and the batched path scales near-linearly with threads since
-// rows are embarrassingly parallel.
+// rows are embarrassingly parallel. Fleet QPS should grow with replica
+// count until the single router thread saturates.
+//
+// Emits BENCH_serve.json (single-process server) and BENCH_fleet.json
+// (replica-count sweep) into the working directory; CI uploads both.
 
 #include <atomic>
+#include <cstdio>
 #include <future>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_util.h"
 #include "common/metrics_registry.h"
+#include "common/serial.h"
 #include "common/timer.h"
+#include "fleet/replica.h"
+#include "fleet/router.h"
 #include "forest/forest.h"
+#include "net/network.h"
 #include "serve/compiled_model.h"
 #include "serve/registry.h"
 #include "serve/server.h"
@@ -58,6 +70,99 @@ double TimeCompiledThreads(const CompiledForest& compiled,
   }
   for (auto& th : pool) th.join();
   return timer.Seconds();
+}
+
+void WriteJsonFile(const char* path, const std::string& json) {
+  std::printf("%s", json.c_str());
+  if (std::FILE* f = std::fopen(path, "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+  }
+}
+
+struct FleetBenchPoint {
+  int replicas = 0;
+  double qps = 0.0;
+  uint64_t p99_us = 0;
+  uint64_t p999_us = 0;
+};
+
+/// Closed-loop batched load through a FleetRouter backed by
+/// `num_replicas` in-process FleetReplicas. Every returned label is
+/// checked against the compiled reference; latency percentiles come
+/// from the router's own fleet.latency_us histogram.
+bool RunFleetBench(int num_replicas, const std::string& model_bytes,
+                   const DataTable& table,
+                   const std::vector<int32_t>& ref_labels, size_t requests,
+                   size_t rows_per_batch, FleetBenchPoint* out) {
+  MetricsRegistry metrics;
+  InProcessTransport net(num_replicas, 0.0);
+  std::vector<std::unique_ptr<FleetReplica>> replicas;
+  for (int r = 0; r < num_replicas; ++r) {
+    FleetReplicaConfig rc;
+    rc.rank = r;
+    rc.serve.num_workers = 2;
+    rc.serve.max_batch = 256;
+    rc.serve.batch_deadline_us = 200;
+    rc.serve.max_queue = 1 << 16;
+    replicas.push_back(std::make_unique<FleetReplica>(&net, rc));
+    replicas.back()->Start();
+  }
+  FleetRouterConfig cfg;
+  cfg.metrics = &metrics;
+  cfg.max_inflight = 1 << 14;
+  cfg.default_deadline_ms = 60000;
+  FleetRouter router(&net, cfg);
+  router.Start();
+  bool ok = router.Push("bench", model_bytes).ok();
+
+  const size_t n = table.num_rows();
+  std::vector<uint32_t> batch(rows_per_batch);
+  std::vector<std::future<Result<FleetBatchResult>>> futures;
+  futures.reserve(requests);
+  std::vector<size_t> starts(requests);
+  size_t mismatches = 0;
+  size_t next_wait = 0;
+  const size_t window = 64;  // outstanding batches in the closed loop
+  auto drain_one = [&] {
+    auto r = futures[next_wait].get();
+    const size_t start = starts[next_wait];
+    if (!r.ok() || r->labels.size() != rows_per_batch) {
+      ++mismatches;
+    } else {
+      for (size_t j = 0; j < rows_per_batch; ++j) {
+        if (r->labels[j] != ref_labels[(start + j) % n]) ++mismatches;
+      }
+    }
+    ++next_wait;
+  };
+  WallTimer timer;
+  for (size_t i = 0; ok && i < requests; ++i) {
+    const size_t start = (i * rows_per_batch) % n;
+    for (size_t j = 0; j < rows_per_batch; ++j) {
+      batch[j] = static_cast<uint32_t>((start + j) % n);
+    }
+    starts[i] = start;
+    futures.push_back(
+        router.PredictRows("bench", table, batch.data(), rows_per_batch));
+    while (futures.size() - next_wait > window) drain_one();
+  }
+  while (ok && next_wait < futures.size()) drain_one();
+  const double seconds = timer.Seconds();
+  Histogram::Snapshot lat = metrics.GetHistogram("fleet.latency_us")->snapshot();
+  router.ShutdownReplicas();
+  router.Stop();
+  for (auto& r : replicas) r->Stop();
+  if (!ok || mismatches != 0) {
+    std::printf("FATAL: fleet bench (%d replicas): push ok=%d, %zu mismatches\n",
+                num_replicas, ok ? 1 : 0, mismatches);
+    return false;
+  }
+  out->replicas = num_replicas;
+  out->qps = requests > 0 && seconds > 0 ? requests / seconds : 0.0;
+  out->p99_us = lat.Percentile(0.99);
+  out->p999_us = lat.Percentile(0.999);
+  return true;
 }
 
 }  // namespace
@@ -126,6 +231,9 @@ int main(int argc, char** argv) {
 
   // End-to-end micro-batching server: submit every row as its own
   // request and read latency percentiles back out of the registry.
+  BinaryWriter model_writer;
+  forest.Serialize(&model_writer);
+  const std::string model_bytes = model_writer.Release();
   MetricsRegistry metrics;
   ModelRegistry registry;
   if (!registry.Publish("bench", std::move(forest)).ok()) return 1;
@@ -182,5 +290,56 @@ int main(int argc, char** argv) {
       batch.Mean(), static_cast<unsigned long long>(lat.Percentile(0.50)),
       static_cast<unsigned long long>(lat.Percentile(0.99)),
       static_cast<unsigned long long>(lat.max));
+
+  char serve_json[512];
+  std::snprintf(serve_json, sizeof(serve_json),
+                "{\"bench\":\"serve\",\"rows\":%zu,\"trees\":%d,"
+                "\"compiled_speedup\":%.2f,\"compile_s\":%.3f,"
+                "\"server_qps\":%.0f,\"p50_us\":%llu,\"p99_us\":%llu,"
+                "\"max_us\":%llu}\n",
+                rows, trees, ref_s / single_s, compile_s,
+                RowsPerSec(rows, serve_s),
+                static_cast<unsigned long long>(lat.Percentile(0.50)),
+                static_cast<unsigned long long>(lat.Percentile(0.99)),
+                static_cast<unsigned long long>(lat.max));
+  WriteJsonFile("BENCH_serve.json", serve_json);
+
+  // Replicated fleet: the same model pushed through a FleetRouter to
+  // 1/2/4 in-process replicas, closed-loop batched load, parity
+  // checked on every returned label.
+  const size_t fleet_requests = options.quick ? 2000 : 8000;
+  const size_t rows_per_batch = 16;
+  TablePrinter fleet_out({"Replicas", "QPS (batches/s)", "Rows/s", "p99 (us)",
+                          "p999 (us)"});
+  std::string fleet_json = "{\"bench\":\"serve-fleet\",\"requests\":" +
+                           std::to_string(fleet_requests) +
+                           ",\"rows_per_batch\":" +
+                           std::to_string(rows_per_batch) + ",\"points\":[";
+  bool first = true;
+  for (int replicas : {1, 2, 4}) {
+    FleetBenchPoint point;
+    if (!RunFleetBench(replicas, model_bytes, table, ref_labels,
+                       fleet_requests, rows_per_batch, &point)) {
+      return 1;
+    }
+    fleet_out.AddRow({std::to_string(point.replicas), Fmt(point.qps, 0),
+                      Fmt(point.qps * rows_per_batch, 0),
+                      std::to_string(point.p99_us),
+                      std::to_string(point.p999_us)});
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"replicas\":%d,\"qps\":%.0f,\"p99_us\":%llu,"
+                  "\"p999_us\":%llu}",
+                  first ? "" : ",", point.replicas, point.qps,
+                  static_cast<unsigned long long>(point.p99_us),
+                  static_cast<unsigned long long>(point.p999_us));
+    fleet_json += buf;
+    first = false;
+  }
+  fleet_json += "]}\n";
+  std::printf("== Fleet sweep: %zu batched requests x %zu rows ==\n",
+              fleet_requests, rows_per_batch);
+  fleet_out.Print();
+  WriteJsonFile("BENCH_fleet.json", fleet_json);
   return 0;
 }

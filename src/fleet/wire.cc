@@ -1,0 +1,321 @@
+#include "fleet/wire.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "rpc/crc32c.h"
+
+namespace treeserver {
+
+namespace {
+
+// Hostile-input bounds: a corrupt or adversarial payload may claim any
+// length; cap structure sizes before allocating.
+constexpr uint64_t kMaxWireRows = 1u << 20;
+constexpr uint64_t kMaxWireColumns = 1u << 16;
+constexpr uint64_t kMaxWireModels = 1u << 12;
+constexpr uint64_t kMaxWireName = 1u << 12;
+
+Status ReadBoundedString(BinaryReader* r, uint64_t max, std::string* out) {
+  TS_RETURN_IF_ERROR(r->ReadString(out));
+  if (out->size() > max) {
+    return Status::Corruption("fleet wire: string over bound");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string SealFleetPayload(std::string body) {
+  const uint32_t crc = Crc32c(body.data(), body.size());
+  std::string out;
+  out.reserve(body.size() + sizeof(crc));
+  out.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  out.append(body);
+  return out;
+}
+
+Status OpenFleetPayload(const std::string& payload, std::string* body) {
+  if (payload.size() < sizeof(uint32_t)) {
+    return Status::Corruption("fleet payload shorter than its CRC");
+  }
+  uint32_t expect = 0;
+  std::memcpy(&expect, payload.data(), sizeof(expect));
+  const char* data = payload.data() + sizeof(expect);
+  const size_t len = payload.size() - sizeof(expect);
+  if (Crc32c(data, len) != expect) {
+    return Status::Corruption("fleet payload CRC mismatch");
+  }
+  body->assign(data, len);
+  return Status::OK();
+}
+
+FleetPredictMsg FleetPredictMsg::FromRows(uint64_t request_id,
+                                          const std::string& model,
+                                          const DataTable& table,
+                                          const uint32_t* rows, size_t n) {
+  FleetPredictMsg msg;
+  msg.request_id = request_id;
+  msg.model = model;
+  msg.target_index = table.schema().target_index();
+  msg.task_kind = static_cast<uint8_t>(table.schema().task_kind());
+  msg.num_rows = static_cast<uint32_t>(n);
+  msg.columns.resize(static_cast<size_t>(table.num_columns()));
+  for (int c = 0; c < table.num_columns(); ++c) {
+    const Column& col = *table.column(c);
+    WireColumn& wc = msg.columns[static_cast<size_t>(c)];
+    wc.type = static_cast<uint8_t>(col.type());
+    wc.cardinality = col.cardinality();
+    if (col.type() == DataType::kNumeric) {
+      wc.num.reserve(n);
+      for (size_t i = 0; i < n; ++i) wc.num.push_back(col.numeric_at(rows[i]));
+    } else {
+      wc.cat.reserve(n);
+      for (size_t i = 0; i < n; ++i) wc.cat.push_back(col.category_at(rows[i]));
+    }
+  }
+  return msg;
+}
+
+Result<std::shared_ptr<const DataTable>> FleetPredictMsg::ToTable() const {
+  if (columns.empty() || target_index < 0 ||
+      target_index >= static_cast<int32_t>(columns.size())) {
+    return Status::InvalidArgument("fleet predict batch has a bad shape");
+  }
+  std::vector<ColumnMeta> metas(columns.size());
+  std::vector<ColumnPtr> cols(columns.size());
+  for (size_t c = 0; c < columns.size(); ++c) {
+    const WireColumn& wc = columns[c];
+    const std::string name = "c" + std::to_string(c);
+    metas[c].name = name;
+    if (wc.type == static_cast<uint8_t>(DataType::kNumeric)) {
+      if (wc.num.size() != num_rows) {
+        return Status::InvalidArgument("fleet predict column length mismatch");
+      }
+      metas[c].type = DataType::kNumeric;
+      cols[c] = Column::Numeric(name, wc.num);
+    } else {
+      if (wc.cat.size() != num_rows) {
+        return Status::InvalidArgument("fleet predict column length mismatch");
+      }
+      // The source cardinality crosses the wire; defend against a code
+      // outside it anyway (a replica must never index past a PMF).
+      int32_t cardinality = std::max<int32_t>(wc.cardinality, 1);
+      for (int32_t code : wc.cat) {
+        if (code >= cardinality) cardinality = code + 1;
+      }
+      metas[c].type = DataType::kCategorical;
+      metas[c].cardinality = cardinality;
+      cols[c] = Column::Categorical(name, wc.cat, cardinality);
+    }
+  }
+  Schema schema(std::move(metas), target_index,
+                static_cast<TaskKind>(task_kind));
+  return std::make_shared<const DataTable>(std::move(schema), std::move(cols));
+}
+
+std::string FleetPredictMsg::Encode() const {
+  BinaryWriter w;
+  w.Write(request_id);
+  w.WriteString(model);
+  w.Write(target_index);
+  w.Write(task_kind);
+  w.Write(num_rows);
+  w.Write<uint32_t>(static_cast<uint32_t>(columns.size()));
+  for (const WireColumn& wc : columns) {
+    w.Write(wc.type);
+    w.Write(wc.cardinality);
+    if (wc.type == static_cast<uint8_t>(DataType::kNumeric)) {
+      w.WriteVector(wc.num);
+    } else {
+      w.WriteVector(wc.cat);
+    }
+  }
+  return SealFleetPayload(w.Release());
+}
+
+Status FleetPredictMsg::Decode(const std::string& payload,
+                               FleetPredictMsg* out) {
+  std::string body;
+  TS_RETURN_IF_ERROR(OpenFleetPayload(payload, &body));
+  BinaryReader r(body);
+  TS_RETURN_IF_ERROR(r.Read(&out->request_id));
+  TS_RETURN_IF_ERROR(ReadBoundedString(&r, kMaxWireName, &out->model));
+  TS_RETURN_IF_ERROR(r.Read(&out->target_index));
+  TS_RETURN_IF_ERROR(r.Read(&out->task_kind));
+  TS_RETURN_IF_ERROR(r.Read(&out->num_rows));
+  uint32_t num_columns = 0;
+  TS_RETURN_IF_ERROR(r.Read(&num_columns));
+  if (out->num_rows > kMaxWireRows || num_columns > kMaxWireColumns) {
+    return Status::Corruption("fleet predict batch over bounds");
+  }
+  out->columns.assign(num_columns, WireColumn());
+  for (WireColumn& wc : out->columns) {
+    TS_RETURN_IF_ERROR(r.Read(&wc.type));
+    TS_RETURN_IF_ERROR(r.Read(&wc.cardinality));
+    if (wc.type == static_cast<uint8_t>(DataType::kNumeric)) {
+      TS_RETURN_IF_ERROR(r.ReadVector(&wc.num));
+    } else if (wc.type == static_cast<uint8_t>(DataType::kCategorical)) {
+      TS_RETURN_IF_ERROR(r.ReadVector(&wc.cat));
+    } else {
+      return Status::Corruption("fleet predict: unknown column type");
+    }
+  }
+  if (!r.AtEnd()) return Status::Corruption("fleet predict: trailing bytes");
+  return Status::OK();
+}
+
+std::string FleetPredictReplyMsg::Encode() const {
+  BinaryWriter w;
+  w.Write(request_id);
+  w.Write(replica);
+  w.Write(status_code);
+  w.WriteString(error);
+  w.Write(version);
+  w.WriteVector(labels);
+  w.WriteVector(values);
+  return SealFleetPayload(w.Release());
+}
+
+Status FleetPredictReplyMsg::Decode(const std::string& payload,
+                                    FleetPredictReplyMsg* out) {
+  std::string body;
+  TS_RETURN_IF_ERROR(OpenFleetPayload(payload, &body));
+  BinaryReader r(body);
+  TS_RETURN_IF_ERROR(r.Read(&out->request_id));
+  TS_RETURN_IF_ERROR(r.Read(&out->replica));
+  TS_RETURN_IF_ERROR(r.Read(&out->status_code));
+  TS_RETURN_IF_ERROR(ReadBoundedString(&r, kMaxWireName, &out->error));
+  TS_RETURN_IF_ERROR(r.Read(&out->version));
+  TS_RETURN_IF_ERROR(r.ReadVector(&out->labels));
+  TS_RETURN_IF_ERROR(r.ReadVector(&out->values));
+  if (out->labels.size() > kMaxWireRows || out->values.size() > kMaxWireRows) {
+    return Status::Corruption("fleet predict reply over bounds");
+  }
+  if (!r.AtEnd()) {
+    return Status::Corruption("fleet predict reply: trailing bytes");
+  }
+  return Status::OK();
+}
+
+std::string FleetPushMsg::Encode() const {
+  BinaryWriter w;
+  w.Write(op_id);
+  w.WriteString(model);
+  w.WriteString(model_bytes);
+  return SealFleetPayload(w.Release());
+}
+
+Status FleetPushMsg::Decode(const std::string& payload, FleetPushMsg* out) {
+  std::string body;
+  TS_RETURN_IF_ERROR(OpenFleetPayload(payload, &body));
+  BinaryReader r(body);
+  TS_RETURN_IF_ERROR(r.Read(&out->op_id));
+  TS_RETURN_IF_ERROR(ReadBoundedString(&r, kMaxWireName, &out->model));
+  TS_RETURN_IF_ERROR(r.ReadString(&out->model_bytes));
+  if (!r.AtEnd()) return Status::Corruption("fleet push: trailing bytes");
+  return Status::OK();
+}
+
+std::string FleetRollbackMsg::Encode() const {
+  BinaryWriter w;
+  w.Write(op_id);
+  w.WriteString(model);
+  return SealFleetPayload(w.Release());
+}
+
+Status FleetRollbackMsg::Decode(const std::string& payload,
+                                FleetRollbackMsg* out) {
+  std::string body;
+  TS_RETURN_IF_ERROR(OpenFleetPayload(payload, &body));
+  BinaryReader r(body);
+  TS_RETURN_IF_ERROR(r.Read(&out->op_id));
+  TS_RETURN_IF_ERROR(ReadBoundedString(&r, kMaxWireName, &out->model));
+  if (!r.AtEnd()) return Status::Corruption("fleet rollback: trailing bytes");
+  return Status::OK();
+}
+
+std::string FleetAdminReplyMsg::Encode() const {
+  BinaryWriter w;
+  w.Write(op_id);
+  w.Write(replica);
+  w.Write(status_code);
+  w.WriteString(error);
+  w.Write(version);
+  return SealFleetPayload(w.Release());
+}
+
+Status FleetAdminReplyMsg::Decode(const std::string& payload,
+                                  FleetAdminReplyMsg* out) {
+  std::string body;
+  TS_RETURN_IF_ERROR(OpenFleetPayload(payload, &body));
+  BinaryReader r(body);
+  TS_RETURN_IF_ERROR(r.Read(&out->op_id));
+  TS_RETURN_IF_ERROR(r.Read(&out->replica));
+  TS_RETURN_IF_ERROR(r.Read(&out->status_code));
+  TS_RETURN_IF_ERROR(ReadBoundedString(&r, kMaxWireName, &out->error));
+  TS_RETURN_IF_ERROR(r.Read(&out->version));
+  if (!r.AtEnd()) return Status::Corruption("fleet admin reply: trailing bytes");
+  return Status::OK();
+}
+
+std::string FleetHealthPingMsg::Encode() const {
+  BinaryWriter w;
+  w.Write(nonce);
+  return SealFleetPayload(w.Release());
+}
+
+Status FleetHealthPingMsg::Decode(const std::string& payload,
+                                  FleetHealthPingMsg* out) {
+  std::string body;
+  TS_RETURN_IF_ERROR(OpenFleetPayload(payload, &body));
+  BinaryReader r(body);
+  TS_RETURN_IF_ERROR(r.Read(&out->nonce));
+  if (!r.AtEnd()) return Status::Corruption("fleet ping: trailing bytes");
+  return Status::OK();
+}
+
+std::string FleetHealthPongMsg::Encode() const {
+  BinaryWriter w;
+  w.Write(nonce);
+  w.Write(replica);
+  w.Write(queue_depth);
+  w.Write(requests);
+  w.Write(batches);
+  w.Write(rejected);
+  w.Write<uint32_t>(static_cast<uint32_t>(models.size()));
+  for (const ModelVersion& m : models) {
+    w.WriteString(m.name);
+    w.Write(m.version);
+    w.Write(m.num_versions);
+  }
+  return SealFleetPayload(w.Release());
+}
+
+Status FleetHealthPongMsg::Decode(const std::string& payload,
+                                  FleetHealthPongMsg* out) {
+  std::string body;
+  TS_RETURN_IF_ERROR(OpenFleetPayload(payload, &body));
+  BinaryReader r(body);
+  TS_RETURN_IF_ERROR(r.Read(&out->nonce));
+  TS_RETURN_IF_ERROR(r.Read(&out->replica));
+  TS_RETURN_IF_ERROR(r.Read(&out->queue_depth));
+  TS_RETURN_IF_ERROR(r.Read(&out->requests));
+  TS_RETURN_IF_ERROR(r.Read(&out->batches));
+  TS_RETURN_IF_ERROR(r.Read(&out->rejected));
+  uint32_t num_models = 0;
+  TS_RETURN_IF_ERROR(r.Read(&num_models));
+  if (num_models > kMaxWireModels) {
+    return Status::Corruption("fleet pong: model table over bounds");
+  }
+  out->models.assign(num_models, ModelVersion());
+  for (ModelVersion& m : out->models) {
+    TS_RETURN_IF_ERROR(ReadBoundedString(&r, kMaxWireName, &m.name));
+    TS_RETURN_IF_ERROR(r.Read(&m.version));
+    TS_RETURN_IF_ERROR(r.Read(&m.num_versions));
+  }
+  if (!r.AtEnd()) return Status::Corruption("fleet pong: trailing bytes");
+  return Status::OK();
+}
+
+}  // namespace treeserver

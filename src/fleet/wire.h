@@ -1,0 +1,154 @@
+#ifndef TREESERVER_FLEET_WIRE_H_
+#define TREESERVER_FLEET_WIRE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/serial.h"
+#include "common/status.h"
+#include "forest/forest.h"
+#include "table/data_table.h"
+
+namespace treeserver {
+
+/// Message types of the fleet serving protocol (router <-> replica).
+/// The fleet runs on its own Transport instance, so these values never
+/// meet the training engine's MsgType space.
+enum class FleetMsg : uint32_t {
+  kPredict = 1,        // router -> replica: FleetPredictMsg
+  kPredictReply = 2,   // replica -> router: FleetPredictReplyMsg
+  kPush = 3,           // router -> replica: FleetPushMsg
+  kPushReply = 4,      // replica -> router: FleetAdminReplyMsg
+  kRollback = 5,       // router -> replica: FleetRollbackMsg
+  kRollbackReply = 6,  // replica -> router: FleetAdminReplyMsg
+  kHealthPing = 7,     // router -> replica: FleetHealthPingMsg
+  kHealthPong = 8,     // replica -> router: FleetHealthPongMsg
+  kTraceRequest = 9,   // router -> replica (kTrace channel), empty body
+  kTraceReply = 10,    // replica -> router: TraceSnapshotMsg (engine codec)
+  kShutdown = 11,      // router -> replica, empty body; also the
+                       // router's self-sent stop sentinel
+};
+
+/// Every fleet payload is sealed as [u32 crc32c(body)][body] so a
+/// fault-injected byte flip is detected at the seam instead of
+/// corrupting a prediction: the receiver drops the frame (counted) and
+/// the router's retransmit timer re-dispatches the request.
+std::string SealFleetPayload(std::string body);
+/// Verifies and strips the CRC prefix. Corruption on mismatch or a
+/// short payload.
+Status OpenFleetPayload(const std::string& payload, std::string* body);
+
+/// A batch of rows to predict, self-describing: the columnar block
+/// carries every column of the client table (type tag + raw values) at
+/// its original index, so the replica rebuilds a table whose column
+/// indices line up with the compiled model's — raw double bits and
+/// category codes cross the wire unmodified, which is what keeps fleet
+/// predictions byte-identical to the single-process reference.
+struct FleetPredictMsg {
+  struct WireColumn {
+    uint8_t type = 0;  // DataType
+    int32_t cardinality = 0;
+    std::vector<double> num;   // numeric columns
+    std::vector<int32_t> cat;  // categorical columns
+  };
+
+  uint64_t request_id = 0;
+  std::string model;
+  int32_t target_index = 0;
+  uint8_t task_kind = 0;  // TaskKind
+  uint32_t num_rows = 0;
+  std::vector<WireColumn> columns;
+
+  /// Extracts `rows` of `table` into a wire batch.
+  static FleetPredictMsg FromRows(uint64_t request_id,
+                                  const std::string& model,
+                                  const DataTable& table,
+                                  const uint32_t* rows, size_t n);
+  /// Rebuilds a predictable table from the wire batch.
+  Result<std::shared_ptr<const DataTable>> ToTable() const;
+
+  std::string Encode() const;  // sealed
+  static Status Decode(const std::string& payload, FleetPredictMsg* out);
+};
+
+struct FleetPredictReplyMsg {
+  uint64_t request_id = 0;
+  int32_t replica = -1;
+  uint8_t status_code = 0;  // StatusCode
+  std::string error;
+  uint32_t version = 0;
+  std::vector<int32_t> labels;  // classification, one per row
+  std::vector<double> values;   // regression, one per row
+
+  std::string Encode() const;  // sealed
+  static Status Decode(const std::string& payload, FleetPredictReplyMsg* out);
+};
+
+/// Publishes `model_bytes` (ForestModel::Serialize payload) as the
+/// next version of `model` on the receiving replica. `op_id` makes the
+/// push idempotent: a replica that already applied it replays its
+/// recorded reply instead of bumping the version again, so the
+/// router's retransmits under chaos cannot skew version numbers.
+struct FleetPushMsg {
+  uint64_t op_id = 0;
+  std::string model;
+  std::string model_bytes;
+
+  std::string Encode() const;  // sealed
+  static Status Decode(const std::string& payload, FleetPushMsg* out);
+};
+
+struct FleetRollbackMsg {
+  uint64_t op_id = 0;
+  std::string model;
+
+  std::string Encode() const;  // sealed
+  static Status Decode(const std::string& payload, FleetRollbackMsg* out);
+};
+
+/// Reply to kPush / kRollback.
+struct FleetAdminReplyMsg {
+  uint64_t op_id = 0;
+  int32_t replica = -1;
+  uint8_t status_code = 0;  // StatusCode
+  std::string error;
+  uint32_t version = 0;  // version now current after the op
+
+  std::string Encode() const;  // sealed
+  static Status Decode(const std::string& payload, FleetAdminReplyMsg* out);
+};
+
+struct FleetHealthPingMsg {
+  uint64_t nonce = 0;
+
+  std::string Encode() const;  // sealed
+  static Status Decode(const std::string& payload, FleetHealthPingMsg* out);
+};
+
+/// Replica liveness + load report; also feeds the router's /statusz
+/// per-replica model-version table (and through it treeserver_top's
+/// fleet view).
+struct FleetHealthPongMsg {
+  struct ModelVersion {
+    std::string name;
+    uint32_t version = 0;
+    uint32_t num_versions = 0;
+  };
+
+  uint64_t nonce = 0;
+  int32_t replica = -1;
+  uint64_t queue_depth = 0;
+  uint64_t requests = 0;
+  uint64_t batches = 0;
+  uint64_t rejected = 0;
+  std::vector<ModelVersion> models;
+
+  std::string Encode() const;  // sealed
+  static Status Decode(const std::string& payload, FleetHealthPongMsg* out);
+};
+
+}  // namespace treeserver
+
+#endif  // TREESERVER_FLEET_WIRE_H_

@@ -1,5 +1,6 @@
 #include "serve/registry.h"
 
+#include <iterator>
 #include <utility>
 
 namespace treeserver {
@@ -121,6 +122,53 @@ size_t ModelRegistry::RetireOldVersions(const std::string& name,
     ++retired;
   }
   return retired;
+}
+
+Result<uint32_t> ModelRegistry::Rollback(const std::string& name) {
+  Entry* entry = FindEntry(name);
+  if (entry == nullptr) {
+    return Status::NotFound("no published model named " + name);
+  }
+  std::lock_guard<std::mutex> lock(entry->mu);
+  if (entry->current == nullptr) {
+    return Status::NotFound("no published model named " + name);
+  }
+  auto it = entry->versions.find(entry->current->version);
+  if (it == entry->versions.begin() || it == entry->versions.end()) {
+    return Status::FailedPrecondition(
+        name + ": no older version to roll back to");
+  }
+  auto prev = std::prev(it);
+  entry->current = prev->second;
+  // Erase the rolled-back version so a later Rollback cannot bounce
+  // forward to it; requests in flight keep it alive via shared_ptr.
+  entry->versions.erase(it);
+  return entry->current->version;
+}
+
+std::vector<ModelRegistry::ModelStatusInfo> ModelRegistry::StatusSnapshot()
+    const {
+  std::vector<std::pair<std::string, Entry*>> slots;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    slots.reserve(entries_.size());
+    for (const auto& [name, entry] : entries_) {
+      slots.emplace_back(name, entry.get());
+    }
+  }
+  std::vector<ModelStatusInfo> out;
+  out.reserve(slots.size());
+  for (const auto& [name, entry] : slots) {
+    std::lock_guard<std::mutex> lock(entry->mu);
+    if (entry->current == nullptr) continue;
+    ModelStatusInfo info;
+    info.name = name;
+    info.version = entry->current->version;
+    info.num_versions = entry->versions.size();
+    info.kind = entry->current->kind;
+    out.push_back(std::move(info));
+  }
+  return out;
 }
 
 std::vector<std::string> ModelRegistry::ModelNames() const {

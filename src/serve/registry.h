@@ -67,6 +67,24 @@ class ModelRegistry {
   /// requests holding a retired version keep it alive via shared_ptr.
   size_t RetireOldVersions(const std::string& name, size_t keep_latest = 1);
 
+  /// Reverts `name` to the newest pinned version older than the
+  /// current one and erases the rolled-back version from the history
+  /// (in-flight requests holding it keep it alive). Returns the
+  /// version now current; FailedPrecondition when there is no older
+  /// version to fall back to.
+  Result<uint32_t> Rollback(const std::string& name);
+
+  /// One row of the /statusz model-version table.
+  struct ModelStatusInfo {
+    std::string name;
+    uint32_t version = 0;  // current
+    size_t num_versions = 0;
+    ModelKind kind = ModelKind::kForest;
+  };
+  /// Current version + history depth for every registered model,
+  /// sorted by name.
+  std::vector<ModelStatusInfo> StatusSnapshot() const;
+
   std::vector<std::string> ModelNames() const;
   /// Number of pinned (non-retired) versions; 0 for unknown names.
   size_t NumVersions(const std::string& name) const;

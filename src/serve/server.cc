@@ -62,9 +62,27 @@ void InferenceServer::Start() {
     http_->Handle("/statusz", [this](const std::string&) {
       HttpResponse resp;
       resp.content_type = "application/json";
-      resp.body = "{\"role\":\"inference\",\"queue_depth\":" +
-                  std::to_string(queue_depth()) +
-                  ",\"rss_bytes\":" + std::to_string(CurrentRssBytes()) + "}\n";
+      const Stats stats = GetStats();
+      std::string body = "{\"role\":\"inference\",\"queue_depth\":" +
+                         std::to_string(stats.queue_depth) +
+                         ",\"requests\":" + std::to_string(stats.requests) +
+                         ",\"batches\":" + std::to_string(stats.batches) +
+                         ",\"rejected\":" + std::to_string(stats.rejected) +
+                         ",\"rss_bytes\":" + std::to_string(CurrentRssBytes()) +
+                         ",\"models\":[";
+      if (registry_ != nullptr) {
+        bool first = true;
+        for (const auto& m : registry_->StatusSnapshot()) {
+          if (!first) body += ",";
+          first = false;
+          body += "{\"name\":\"" + m.name +
+                  "\",\"version\":" + std::to_string(m.version) +
+                  ",\"num_versions\":" + std::to_string(m.num_versions) +
+                  ",\"kind\":\"" + ModelKindName(m.kind) + "\"}";
+        }
+      }
+      body += "]}\n";
+      resp.body = std::move(body);
       return resp;
     });
     Status st = http_->Start(config_.http_host,
@@ -151,6 +169,15 @@ std::future<Result<Prediction>> InferenceServer::Predict(
 size_t InferenceServer::queue_depth() const {
   std::lock_guard<std::mutex> lock(mu_);
   return queue_.size();
+}
+
+InferenceServer::Stats InferenceServer::GetStats() const {
+  Stats stats;
+  stats.queue_depth = queue_depth();
+  stats.requests = requests_total_->value();
+  stats.batches = batches_flushed_->value();
+  stats.rejected = requests_rejected_->value();
+  return stats;
 }
 
 uint16_t InferenceServer::http_port() const {

@@ -103,6 +103,17 @@ class InferenceServer {
   /// batched).
   size_t queue_depth() const;
 
+  /// Point-in-time load counters (this server's own serve.* counters,
+  /// not the registry-wide metrics). Feeds /statusz and the fleet
+  /// replica's health pongs.
+  struct Stats {
+    size_t queue_depth = 0;
+    uint64_t requests = 0;
+    uint64_t batches = 0;
+    uint64_t rejected = 0;
+  };
+  Stats GetStats() const;
+
   /// Bound introspection port, or 0 when HTTP is disabled.
   uint16_t http_port() const;
 

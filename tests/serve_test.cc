@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <future>
 #include <thread>
@@ -446,6 +449,116 @@ TEST(ModelRegistryTest, HotSwapIsSafeUnderConcurrentReads) {
   stop.store(true);
   reader.join();
   EXPECT_EQ(registry.Current("hot")->version, 20u);
+}
+
+TEST(ModelRegistryTest, RollbackRestoresPreviousVersion) {
+  DataTable table = MixedData(3, 200, 5);
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Publish("m", TrainSmallForest(table, 4, 5, 1)).ok());
+  ASSERT_TRUE(registry.Publish("m", TrainSmallForest(table, 4, 5, 2)).ok());
+  ASSERT_TRUE(registry.Publish("m", TrainSmallForest(table, 4, 5, 3)).ok());
+  ASSERT_EQ(registry.Current("m")->version, 3u);
+
+  Result<uint32_t> v = registry.Rollback("m");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 2u);
+  EXPECT_EQ(registry.Current("m")->version, 2u);
+  // The rolled-back version is gone: a second rollback lands on v1,
+  // not back on v3.
+  v = registry.Rollback("m");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 1u);
+  // Nothing older than v1: rollback now fails, current is unchanged.
+  EXPECT_EQ(registry.Rollback("m").status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(registry.Current("m")->version, 1u);
+  EXPECT_EQ(registry.Rollback("nope").status().code(), StatusCode::kNotFound);
+  // A fresh publish after rollbacks still gets a fresh version number.
+  Result<uint32_t> republished =
+      registry.Publish("m", TrainSmallForest(table, 4, 5, 4));
+  ASSERT_TRUE(republished.ok());
+  EXPECT_EQ(*republished, 4u);
+}
+
+TEST(ModelRegistryTest, StatusSnapshotListsEveryModel) {
+  DataTable table = MixedData(2, 150, 9);
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Publish("a", TrainSmallForest(table, 2, 4)).ok());
+  ASSERT_TRUE(registry.Publish("b", TrainSmallForest(table, 2, 4)).ok());
+  ASSERT_TRUE(registry.Publish("b", TrainSmallForest(table, 2, 4, 5)).ok());
+
+  auto snapshot = registry.StatusSnapshot();
+  ASSERT_EQ(snapshot.size(), 2u);
+  EXPECT_EQ(snapshot[0].name, "a");
+  EXPECT_EQ(snapshot[0].version, 1u);
+  EXPECT_EQ(snapshot[0].num_versions, 1u);
+  EXPECT_EQ(snapshot[1].name, "b");
+  EXPECT_EQ(snapshot[1].version, 2u);
+  EXPECT_EQ(snapshot[1].num_versions, 2u);
+}
+
+// Satellite: hot-swap under live batched load. Every published version
+// holds an identical model, so any torn read — a prediction computed
+// from half-swapped state — shows up as a wrong label, and TSan sees
+// any racy access. Old-version in-flight work must still complete.
+TEST(ModelRegistrySwapStress, HotSwapUnderConcurrentPredictionLoad) {
+  auto table = std::make_shared<DataTable>(MixedData(3, 300, 77));
+  ForestModel forest = TrainSmallForest(*table, 6, 6);
+  CompiledForest compiled = CompiledForest::Compile(forest);
+
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Publish("m", forest).ok());
+
+  InferenceServerConfig cfg;
+  cfg.num_workers = 3;
+  cfg.max_batch = 8;
+  cfg.batch_deadline_us = 50;
+  cfg.max_queue = 1 << 16;
+  MetricsRegistry metrics;
+  cfg.metrics = &metrics;
+  InferenceServer server(&registry, cfg);
+  server.Start();
+
+  constexpr int kSwaps = 25;
+  std::atomic<bool> done{false};
+  std::thread publisher([&] {
+    for (int i = 0; i < kSwaps; ++i) {
+      ASSERT_TRUE(registry.Publish("m", forest).ok());
+      registry.RetireOldVersions("m", 4);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    done.store(true);
+  });
+
+  std::vector<std::future<Result<Prediction>>> futures;
+  uint32_t row = 0;
+  while (!done.load() || futures.size() < 2000) {
+    PredictRequest req;
+    req.model = "m";
+    req.table = table;
+    req.row = row;
+    futures.push_back(server.Predict(std::move(req)));
+    row = (row + 1) % table->num_rows();
+    if (futures.size() >= 20000) break;
+  }
+  publisher.join();
+
+  uint32_t max_version = 0;
+  for (size_t i = 0; i < futures.size(); ++i) {
+    Result<Prediction> r = futures[i].get();
+    ASSERT_TRUE(r.ok()) << r.status().message();
+    // Identical model at every version: a label mismatch means a torn
+    // read of half-swapped state.
+    const uint32_t expect_row = static_cast<uint32_t>(i) % table->num_rows();
+    EXPECT_EQ(r->label, compiled.PredictLabelRow(*table, expect_row));
+    ASSERT_GE(r->model_version, 1u);
+    ASSERT_LE(r->model_version, static_cast<uint32_t>(kSwaps) + 1);
+    max_version = std::max(max_version, r->model_version);
+  }
+  server.Stop();
+  // The load really did overlap the swaps.
+  EXPECT_GT(max_version, 1u);
+  EXPECT_EQ(metrics.GetCounter("serve.rejected")->value(), 0u);
 }
 
 TEST(InferenceServerTest, ServesParityWithDirectPrediction) {

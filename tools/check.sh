@@ -42,6 +42,13 @@ TREESERVER_NODE=./build/tools/treeserver_node \
   CHAOS_PROFILES="mixed" CHAOS_SEED=20260808 \
   bash tools/chaos_test.sh
 
+echo "== fleet smoke: router + 2 replicas, kill-one failover =="
+TREEFLEET=./build/tools/treefleet \
+  TREESERVER_TOP=./build/tools/treeserver_top \
+  FLEET_REPLICAS=2 FLEET_CHAOS=none FLEET_KILL_RANK=1 \
+  FLEET_REQUESTS=4000 FLEET_PERIOD_US=500 \
+  bash tools/fleet_failover_test.sh
+
 echo "== observability smoke: top self-test + overhead guard =="
 ./build/tools/treeserver_top --self-test
 ./build/bench/bench_micro --obs-overhead
@@ -55,13 +62,15 @@ echo "== tsan: configure + build =="
 cmake -B build-tsan -S . -DTS_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j
 
-echo "== tsan: concurrent_test + engine_stress_test + serve + rpc + obs + chaos =="
+echo "== tsan: concurrent_test + engine_stress_test + serve + rpc + obs + chaos + fleet =="
 # Chaos*/Reliable*/FaultInject* run the seeded fault injector, the
 # ack/retransmit layer and a full chaos training job under TSan — the
 # injector's delivery thread and the retransmit thread touch every
 # engine queue concurrently, exactly the interleavings TSan exists for.
+# Fleet*/ModelRegistry* add the router's timer/receive threads and the
+# hot-swap-under-load registry stress on top.
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/treeserver_tests \
-  --gtest_filter='BlockingQueue*:ConcurrentHashMap*:PlanDeque*:EngineStress*:InferenceServer*:ModelRegistry*:TcpTransport*:TcpCluster*:HttpServer*:StatsReporter*:Watchdog*:TracerTest*:Chaos*:Reliable*:FaultInject*'
+  --gtest_filter='BlockingQueue*:ConcurrentHashMap*:PlanDeque*:EngineStress*:InferenceServer*:ModelRegistry*:Fleet*:TcpTransport*:TcpCluster*:HttpServer*:StatsReporter*:Watchdog*:TracerTest*:Chaos*:Reliable*:FaultInject*'
 
 echo "== ubsan: configure + build =="
 cmake -B build-ubsan -S . -DTS_SANITIZE=undefined >/dev/null

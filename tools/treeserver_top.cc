@@ -6,11 +6,19 @@
 //       and render one row per rank (add --watch=SECONDS to refresh).
 //   treeserver_top --fetch=HOST:PORT/PATH
 //       raw GET, body to stdout (curl-free smoke probes in scripts).
+//   treeserver_top --fleet=HOST:PORT [--watch=SECONDS]
+//       serving-fleet dashboard fed from the router's /statusz:
+//       router totals (accepted/shed/p99) plus one row per replica
+//       (health, rotation, queue, requests — QPS in watch mode — and
+//       the model version table).
 //   treeserver_top --validate-trace=FILE --expect-ranks=N
 //       validate a merged Chrome trace: well-formed JSON, >= 1 event
 //       in every expected process lane (master + N workers), and the
 //       earliest master scheduling span not after the earliest worker
-//       compute span (clock rebasing preserved causality).
+//       compute span (clock rebasing preserved causality). Add
+//       --allow-missing-lanes=K to tolerate up to K empty worker
+//       lanes (a SIGKILL'd fleet replica cannot answer a trace
+//       request).
 //   treeserver_top --self-test
 //       exercise the HTTP client/server and the trace validator
 //       in-process; exit 0 on success (tools/check.sh smoke stage).
@@ -109,10 +117,103 @@ int Dashboard(const std::vector<std::string>& endpoints, int watch_seconds) {
   return 0;
 }
 
+/// One-shot (or --watch) dashboard over the fleet router's /statusz.
+/// In watch mode the per-replica QPS column is the request-count delta
+/// between refreshes; the first frame shows 0.
+int FleetView(const std::string& endpoint, int watch_seconds) {
+  std::string host, path;
+  int port = 0;
+  if (!SplitHostPort(endpoint, &host, &port, &path)) {
+    std::fprintf(stderr, "bad --fleet endpoint %s (want HOST:PORT)\n",
+                 endpoint.c_str());
+    return 2;
+  }
+  std::vector<double> last_requests;
+  do {
+    std::string body;
+    Status st =
+        HttpGet(host, static_cast<uint16_t>(port), "/statusz", &body);
+    JsonValue v;
+    if (!st.ok() || !JsonValue::Parse(body, &v).ok()) {
+      std::fprintf(stderr, "fleet: router %s unreachable (%s)\n",
+                   endpoint.c_str(), st.ToString().c_str());
+      return 1;
+    }
+    if (watch_seconds > 0) std::printf("\x1b[H\x1b[2J");
+    const JsonValue* lat = v.Find("latency_us");
+    std::printf(
+        "router %s  accepted=%.0f shed=%.0f retransmits=%.0f failovers=%.0f "
+        "p50=%.0fus p99=%.0fus\n",
+        endpoint.c_str(), v.NumberOr("accepted", 0), v.NumberOr("shed", 0),
+        v.NumberOr("retransmits", 0), v.NumberOr("failovers", 0),
+        lat != nullptr ? lat->NumberOr("p50", 0) : 0,
+        lat != nullptr ? lat->NumberOr("p99", 0) : 0);
+    const JsonValue* canaries = v.Find("canaries");
+    if (canaries != nullptr && canaries->is_array()) {
+      for (const JsonValue& c : canaries->as_array()) {
+        const JsonValue* arm = c.Find("canary");
+        std::printf("canary %s v%.0f on r%.0f  count=%.0f errors=%.0f "
+                    "p99=%.0fus\n",
+                    c.StringOr("model", "?").c_str(), c.NumberOr("version", 0),
+                    c.NumberOr("replica", -1),
+                    arm != nullptr ? arm->NumberOr("count", 0) : 0,
+                    arm != nullptr ? arm->NumberOr("errors", 0) : 0,
+                    arm != nullptr ? arm->NumberOr("p99_us", 0) : 0);
+      }
+    }
+    std::printf("%-5s %-6s %-9s %7s %11s %10s %8s %8s  %s\n", "rank", "alive",
+                "rotation", "queue", "outstanding", "requests", "qps",
+                "rejected", "models");
+    const JsonValue* replicas = v.Find("replicas");
+    size_t idx = 0;
+    if (replicas != nullptr && replicas->is_array()) {
+      for (const JsonValue& r : replicas->as_array()) {
+        const double requests = r.NumberOr("requests", 0);
+        double qps = 0;
+        if (idx < last_requests.size() && watch_seconds > 0) {
+          qps = (requests - last_requests[idx]) / watch_seconds;
+        }
+        if (idx >= last_requests.size()) last_requests.resize(idx + 1, 0);
+        last_requests[idx] = requests;
+        std::string models;
+        const JsonValue* mv = r.Find("models");
+        if (mv != nullptr && mv->is_array()) {
+          for (const JsonValue& m : mv->as_array()) {
+            if (!models.empty()) models += " ";
+            models += m.StringOr("name", "?") + ":v" +
+                      std::to_string(
+                          static_cast<long long>(m.NumberOr("version", 0)));
+          }
+        }
+        const JsonValue* alive = r.Find("alive");
+        const JsonValue* rotation = r.Find("in_rotation");
+        std::printf("%-5.0f %-6s %-9s %7.0f %11.0f %10.0f %8.1f %8.0f  %s\n",
+                    r.NumberOr("rank", -1),
+                    alive != nullptr && alive->is_bool() && alive->as_bool()
+                        ? "yes"
+                        : "NO",
+                    rotation != nullptr && rotation->is_bool() &&
+                            rotation->as_bool()
+                        ? "in"
+                        : "OUT",
+                    r.NumberOr("queue_depth", 0), r.NumberOr("outstanding", 0),
+                    requests, qps, r.NumberOr("rejected", 0), models.c_str());
+        ++idx;
+      }
+    }
+    std::fflush(stdout);
+    if (watch_seconds > 0) ::sleep(static_cast<unsigned>(watch_seconds));
+  } while (watch_seconds > 0);
+  return 0;
+}
+
 /// Validates a merged Chrome trace produced by the master: one process
 /// lane per expected rank with at least one non-metadata event, and
 /// master scheduling preceding worker computation after rebasing.
-int ValidateTrace(const std::string& text, int expect_ranks) {
+/// Up to `allow_missing` empty worker lanes are tolerated (dead ranks
+/// cannot answer a trace request).
+int ValidateTrace(const std::string& text, int expect_ranks,
+                  int allow_missing = 0) {
   JsonValue doc;
   if (Status st = JsonValue::Parse(text, &doc); !st.ok()) {
     std::fprintf(stderr, "trace: bad JSON: %s\n", st.ToString().c_str());
@@ -153,12 +254,19 @@ int ValidateTrace(const std::string& text, int expect_ranks) {
     std::fprintf(stderr, "trace: master lane (pid 1) has no events\n");
     ++failures;
   }
+  int missing_workers = 0;
   for (int w = 0; w < expect_ranks; ++w) {
     if (events_per_lane[static_cast<size_t>(w) + 2] == 0) {
       std::fprintf(stderr, "trace: worker %d lane (pid %d) has no events\n", w,
                    w + 2);
-      ++failures;
+      ++missing_workers;
     }
+  }
+  if (missing_workers > allow_missing) {
+    failures += missing_workers - allow_missing;
+  } else if (missing_workers > 0) {
+    std::fprintf(stderr, "trace: tolerating %d missing lane(s) (<= %d)\n",
+                 missing_workers, allow_missing);
   }
   if (first_master_schedule >= 0 && first_worker_compute >= 0 &&
       first_master_schedule > first_worker_compute) {
@@ -176,7 +284,8 @@ int ValidateTrace(const std::string& text, int expect_ranks) {
   return failures == 0 ? 0 : 1;
 }
 
-int ValidateTraceFile(const std::string& path, int expect_ranks) {
+int ValidateTraceFile(const std::string& path, int expect_ranks,
+                      int allow_missing) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     std::fprintf(stderr, "cannot read %s\n", path.c_str());
@@ -184,7 +293,7 @@ int ValidateTraceFile(const std::string& path, int expect_ranks) {
   }
   std::ostringstream buf;
   buf << in.rdbuf();
-  return ValidateTrace(buf.str(), expect_ranks);
+  return ValidateTrace(buf.str(), expect_ranks, allow_missing);
 }
 
 int SelfTest() {
@@ -247,7 +356,9 @@ int Run(int argc, char** argv) {
   std::vector<std::string> endpoints;
   std::string fetch_target;
   std::string trace_file;
+  std::string fleet_endpoint;
   int expect_ranks = -1;
+  int allow_missing_lanes = 0;
   int watch_seconds = 0;
   bool self_test = false;
   for (int i = 1; i < argc; ++i) {
@@ -262,6 +373,10 @@ int Run(int argc, char** argv) {
       trace_file = v;
     } else if (const char* v = flag_value("expect-ranks")) {
       expect_ranks = std::atoi(v);
+    } else if (const char* v = flag_value("allow-missing-lanes")) {
+      allow_missing_lanes = std::atoi(v);
+    } else if (const char* v = flag_value("fleet")) {
+      fleet_endpoint = v;
     } else if (const char* v = flag_value("watch")) {
       watch_seconds = std::atoi(v);
     } else if (arg == "--self-test") {
@@ -269,8 +384,10 @@ int Run(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::fprintf(stderr,
                    "treeserver_top [HOST:PORT ...] [--watch=S]\n"
+                   "               [--fleet=HOST:PORT]\n"
                    "               [--fetch=HOST:PORT/PATH]\n"
-                   "               [--validate-trace=F --expect-ranks=N]\n"
+                   "               [--validate-trace=F --expect-ranks=N\n"
+                   "                --allow-missing-lanes=K]\n"
                    "               [--self-test]\n");
       return 0;
     } else if (arg.rfind("--", 0) == 0) {
@@ -282,12 +399,13 @@ int Run(int argc, char** argv) {
   }
   if (self_test) return SelfTest();
   if (!fetch_target.empty()) return Fetch(fetch_target);
+  if (!fleet_endpoint.empty()) return FleetView(fleet_endpoint, watch_seconds);
   if (!trace_file.empty()) {
     if (expect_ranks < 0) {
       std::fprintf(stderr, "--validate-trace needs --expect-ranks\n");
       return 2;
     }
-    return ValidateTraceFile(trace_file, expect_ranks);
+    return ValidateTraceFile(trace_file, expect_ranks, allow_missing_lanes);
   }
   if (endpoints.empty()) {
     std::fprintf(stderr, "no endpoints; try --help\n");
