@@ -8,15 +8,27 @@ namespace treeserver {
 uint64_t Histogram::Snapshot::Percentile(double p) const {
   if (count == 0) return 0;
   p = std::min(std::max(p, 0.0), 1.0);
-  uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(count - 1));
+  const double rank = p * static_cast<double>(count - 1);
   uint64_t seen = 0;
   for (int i = 0; i < kNumBuckets; ++i) {
-    seen += buckets[i];
-    if (seen > rank) {
-      // The true value lies in this bucket; report its upper bound,
-      // clamped by the observed maximum.
-      return std::min(BucketUpperBound(i), max);
+    const uint64_t in_bucket = buckets[i];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(seen + in_bucket) > rank) {
+      // The true value lies in this bucket. The power-of-two buckets
+      // double in width, so reporting the raw upper bound makes every
+      // tail percentile collapse onto the max; interpolate linearly
+      // within the bucket instead, assuming its samples are evenly
+      // spread over [lower, min(upper, max)].
+      const uint64_t lo = BucketLowerBound(i);
+      const uint64_t hi = std::min(BucketUpperBound(i), max);
+      const double frac =
+          (rank - static_cast<double>(seen) + 1.0) /
+          static_cast<double>(in_bucket);
+      const uint64_t v =
+          lo + static_cast<uint64_t>(frac * static_cast<double>(hi - lo));
+      return std::min(v, max);
     }
+    seen += in_bucket;
   }
   return max;
 }

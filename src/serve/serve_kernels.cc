@@ -1,0 +1,85 @@
+#include "serve/serve_kernels.h"
+
+#include "common/simd.h"
+
+namespace treeserver {
+namespace servek {
+
+void AddIndexedPmfScalar(float* out, const int32_t* nodes, size_t n, size_t k,
+                         const float* pool) {
+  for (size_t i = 0; i < n; ++i) {
+    const float* p = pool + static_cast<size_t>(nodes[i]) * k;
+    float* o = out + i * k;
+    for (size_t c = 0; c < k; ++c) o[c] += p[c];
+  }
+}
+
+void AddIndexedValueScalar(double* out, const int32_t* nodes, size_t n,
+                           const double* pool) {
+  for (size_t i = 0; i < n; ++i) out[i] += pool[nodes[i]];
+}
+
+void ScaleF32Scalar(float* v, size_t n, float s) {
+  for (size_t i = 0; i < n; ++i) v[i] *= s;
+}
+
+void DivF64Scalar(double* v, size_t n, double d) {
+  for (size_t i = 0; i < n; ++i) v[i] /= d;
+}
+
+namespace {
+
+inline bool UseAvx2() {
+#if TS_SIMD_ENABLED && (defined(__x86_64__) || defined(_M_X64))
+  return ActiveSimdLevel() == SimdLevel::kAvx2;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+void AddIndexedPmf(float* out, const int32_t* nodes, size_t n, size_t k,
+                   const float* pool) {
+#if TS_SIMD_ENABLED && (defined(__x86_64__) || defined(_M_X64))
+  if (UseAvx2()) {
+    AddIndexedPmfAvx2(out, nodes, n, k, pool);
+    return;
+  }
+#endif
+  AddIndexedPmfScalar(out, nodes, n, k, pool);
+}
+
+void AddIndexedValue(double* out, const int32_t* nodes, size_t n,
+                     const double* pool) {
+#if TS_SIMD_ENABLED && (defined(__x86_64__) || defined(_M_X64))
+  if (UseAvx2()) {
+    AddIndexedValueAvx2(out, nodes, n, pool);
+    return;
+  }
+#endif
+  AddIndexedValueScalar(out, nodes, n, pool);
+}
+
+void ScaleF32(float* v, size_t n, float s) {
+#if TS_SIMD_ENABLED && (defined(__x86_64__) || defined(_M_X64))
+  if (UseAvx2()) {
+    ScaleF32Avx2(v, n, s);
+    return;
+  }
+#endif
+  ScaleF32Scalar(v, n, s);
+}
+
+void DivF64(double* v, size_t n, double d) {
+#if TS_SIMD_ENABLED && (defined(__x86_64__) || defined(_M_X64))
+  if (UseAvx2()) {
+    DivF64Avx2(v, n, d);
+    return;
+  }
+#endif
+  DivF64Scalar(v, n, d);
+}
+
+}  // namespace servek
+}  // namespace treeserver

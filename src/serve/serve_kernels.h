@@ -1,0 +1,52 @@
+#ifndef TREESERVER_SERVE_SERVE_KERNELS_H_
+#define TREESERVER_SERVE_SERVE_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace treeserver {
+
+/// Element-wise accumulation kernels behind CompiledForest's batched
+/// Predict loops, dispatched on common/simd.h's active level. All four
+/// operations are per-element (no reassociation: out[i] gets the same
+/// single IEEE op either way), so the vector paths are bit-exact
+/// against the scalar twins — fuzz-checked in tests/simd_test.cc.
+///
+/// Only an AVX2 variant exists: on AArch64 the baseline ISA includes
+/// NEON and the compiler auto-vectorizes these element-wise loops
+/// exactly, so a hand-written twin would be redundant.
+namespace servek {
+
+/// out[i*k + c] += pool[nodes[i]*k + c] for all rows and classes.
+void AddIndexedPmf(float* out, const int32_t* nodes, size_t n, size_t k,
+                   const float* pool);
+/// out[i] += pool[nodes[i]].
+void AddIndexedValue(double* out, const int32_t* nodes, size_t n,
+                     const double* pool);
+/// v[i] *= s.
+void ScaleF32(float* v, size_t n, float s);
+/// v[i] /= d (a divide, not a reciprocal multiply — bit parity with
+/// ForestModel::PredictValue).
+void DivF64(double* v, size_t n, double d);
+
+// Scalar twins, callable directly by the parity tests.
+void AddIndexedPmfScalar(float* out, const int32_t* nodes, size_t n, size_t k,
+                         const float* pool);
+void AddIndexedValueScalar(double* out, const int32_t* nodes, size_t n,
+                           const double* pool);
+void ScaleF32Scalar(float* v, size_t n, float s);
+void DivF64Scalar(double* v, size_t n, double d);
+
+#if TS_SIMD_ENABLED && (defined(__x86_64__) || defined(_M_X64))
+void AddIndexedPmfAvx2(float* out, const int32_t* nodes, size_t n, size_t k,
+                       const float* pool);
+void AddIndexedValueAvx2(double* out, const int32_t* nodes, size_t n,
+                         const double* pool);
+void ScaleF32Avx2(float* v, size_t n, float s);
+void DivF64Avx2(double* v, size_t n, double d);
+#endif
+
+}  // namespace servek
+}  // namespace treeserver
+
+#endif  // TREESERVER_SERVE_SERVE_KERNELS_H_

@@ -1,0 +1,62 @@
+// AVX2 twins of the element-wise serve kernels. Compiled with -mavx2
+// (src/CMakeLists.txt) and empty unless TS_SIMD is ON on x86-64.
+// Every loop below performs exactly one IEEE op per element, same as
+// the scalar twin — no horizontal reductions, no reassociation — so
+// the results are bit-identical.
+#include "serve/serve_kernels.h"
+
+#if TS_SIMD_ENABLED && (defined(__x86_64__) || defined(_M_X64))
+
+#include <immintrin.h>
+
+namespace treeserver {
+namespace servek {
+
+void AddIndexedPmfAvx2(float* out, const int32_t* nodes, size_t n, size_t k,
+                       const float* pool) {
+  for (size_t i = 0; i < n; ++i) {
+    const float* p = pool + static_cast<size_t>(nodes[i]) * k;
+    float* o = out + i * k;
+    size_t c = 0;
+    for (; c + 8 <= k; c += 8) {
+      _mm256_storeu_ps(o + c, _mm256_add_ps(_mm256_loadu_ps(o + c),
+                                            _mm256_loadu_ps(p + c)));
+    }
+    for (; c < k; ++c) o[c] += p[c];
+  }
+}
+
+void AddIndexedValueAvx2(double* out, const int32_t* nodes, size_t n,
+                         const double* pool) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i idx =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(nodes + i));
+    const __m256d vals = _mm256_i32gather_pd(pool, idx, 8);
+    _mm256_storeu_pd(out + i, _mm256_add_pd(_mm256_loadu_pd(out + i), vals));
+  }
+  for (; i < n; ++i) out[i] += pool[nodes[i]];
+}
+
+void ScaleF32Avx2(float* v, size_t n, float s) {
+  const __m256 vs = _mm256_set1_ps(s);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(v + i, _mm256_mul_ps(_mm256_loadu_ps(v + i), vs));
+  }
+  for (; i < n; ++i) v[i] *= s;
+}
+
+void DivF64Avx2(double* v, size_t n, double d) {
+  const __m256d vd = _mm256_set1_pd(d);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(v + i, _mm256_div_pd(_mm256_loadu_pd(v + i), vd));
+  }
+  for (; i < n; ++i) v[i] /= d;
+}
+
+}  // namespace servek
+}  // namespace treeserver
+
+#endif  // TS_SIMD_ENABLED && x86-64

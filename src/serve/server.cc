@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/prometheus.h"
+#include "common/simd.h"
 #include "common/trace.h"
 
 namespace treeserver {
@@ -63,7 +64,8 @@ void InferenceServer::Start() {
       HttpResponse resp;
       resp.content_type = "application/json";
       const Stats stats = GetStats();
-      std::string body = "{\"role\":\"inference\",\"queue_depth\":" +
+      std::string body = "{\"role\":\"inference\"," + SimdStatusJson() +
+                         ",\"queue_depth\":" +
                          std::to_string(stats.queue_depth) +
                          ",\"requests\":" + std::to_string(stats.requests) +
                          ",\"batches\":" + std::to_string(stats.batches) +
@@ -78,7 +80,8 @@ void InferenceServer::Start() {
           body += "{\"name\":\"" + m.name +
                   "\",\"version\":" + std::to_string(m.version) +
                   ",\"num_versions\":" + std::to_string(m.num_versions) +
-                  ",\"kind\":\"" + ModelKindName(m.kind) + "\"}";
+                  ",\"kind\":\"" + ModelKindName(m.kind) +
+                  "\",\"layout\":\"" + NodeLayoutName(m.layout) + "\"}";
         }
       }
       body += "]}\n";

@@ -49,6 +49,15 @@ class BinnedColumn {
     return wide_ ? codes16_[row] : codes8_[row];
   }
 
+  /// Raw code arrays for the SIMD kernels and the quantized serving
+  /// layout: exactly one is non-null, matching wide().
+  const uint8_t* codes8_data() const {
+    return wide_ ? nullptr : codes8_.data();
+  }
+  const uint16_t* codes16_data() const {
+    return wide_ ? codes16_.data() : nullptr;
+  }
+
   /// Largest column value in bin b — the split threshold "v <= upper".
   double upper(int bin) const { return (*upper_)[bin]; }
 

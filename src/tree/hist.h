@@ -10,6 +10,15 @@
 
 namespace treeserver {
 
+/// One regression histogram bin: row count plus target sum and sum of
+/// squares. Namespace-scope (not nested) so the SIMD kernels in
+/// tree/hist_kernels.h can fill arrays of them directly.
+struct HistRegBin {
+  int64_t n = 0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+};
+
 /// Per-node histogram of one binned numeric column: class counts per
 /// bin (classification) or (count, sum, sum of squares) per bin
 /// (regression), with the missing bin last. Built in one O(n) pass
@@ -30,6 +39,13 @@ namespace treeserver {
 /// is interchangeable with a built one. For regression the sums
 /// re-associate, so derivation is only used where the choice of which
 /// sibling to derive is itself deterministic (inside TrainTree).
+///
+/// Accumulation runs through the runtime-dispatched kernels of
+/// tree/hist_kernels.h (scalar / AVX2 / NEON, common/simd.h). Every
+/// kernel preserves the per-bin accumulation order of the scalar
+/// reference, so the built histograms are bit-identical across levels
+/// — integer class counts commute outright, and the vectorized
+/// regression kernel keeps one accumulator per bin fed in row order.
 class NodeHistogram {
  public:
   NodeHistogram() = default;
@@ -38,6 +54,17 @@ class NodeHistogram {
   static NodeHistogram Build(const BinnedColumn& binned, const Column& target,
                              const SplitContext& ctx, const uint32_t* rows,
                              size_t n);
+
+  /// Builds the histograms of several columns of the same node in one
+  /// fused pass: the target is read once per row and up to four
+  /// same-width columns accumulate together, which is where the SIMD
+  /// kernels earn their keep. `cols[i]` may be nullptr (categorical /
+  /// unbinned column): `out[i]` stays empty. `out` must hold
+  /// `num_cols` default-constructed entries. Results are bit-identical
+  /// to per-column Build() calls at every SIMD level.
+  static void BuildMany(const BinnedColumn* const* cols, size_t num_cols,
+                        const Column& target, const SplitContext& ctx,
+                        const uint32_t* rows, size_t n, NodeHistogram* out);
 
   /// Derives the sibling: element-wise parent - child.
   static NodeHistogram Subtract(const NodeHistogram& parent,
@@ -59,17 +86,19 @@ class NodeHistogram {
   /// Payload bytes, for task memory accounting.
   size_t ByteSize() const;
 
- private:
-  struct RegBin {
-    int64_t n = 0;
-    double sum = 0.0;
-    double sum_sq = 0.0;
-  };
+  /// Raw payloads, for the scalar-vs-SIMD parity tests (bit-exact
+  /// comparisons) and kernel plumbing. Classification: slots() *
+  /// num_classes entries, bin-major. Regression: slots() entries.
+  const int64_t* cls_data() const { return cls_.data(); }
+  size_t cls_size() const { return cls_.size(); }
+  const HistRegBin* reg_data() const { return reg_.data(); }
+  size_t reg_size() const { return reg_.size(); }
 
+ private:
   int slots_ = 0;        // num_bins + 1 (missing bin last)
   int num_classes_ = 0;  // 0 for regression
-  std::vector<int64_t> cls_;  // slots_ * num_classes_, bin-major
-  std::vector<RegBin> reg_;   // slots_
+  std::vector<int64_t> cls_;    // slots_ * num_classes_, bin-major
+  std::vector<HistRegBin> reg_;  // slots_
 };
 
 /// A node's histograms, parallel to its candidate-column list; entries

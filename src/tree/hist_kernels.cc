@@ -1,0 +1,60 @@
+#include "tree/hist_kernels.h"
+
+#include "tree/hist.h"
+
+namespace treeserver {
+namespace histk {
+namespace {
+
+template <typename Code>
+void ClsScalarImpl(const Code* codes, const int32_t* labels,
+                   const uint32_t* rows, size_t n, int c, int64_t* counts) {
+  if (rows == nullptr) {
+    for (size_t i = 0; i < n; ++i) {
+      counts[static_cast<size_t>(codes[i]) * c + labels[i]]++;
+    }
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      const uint32_t row = rows[i];
+      counts[static_cast<size_t>(codes[row]) * c + labels[row]]++;
+    }
+  }
+}
+
+template <typename Code>
+void RegScalarImpl(const Code* codes, const double* y, const uint32_t* rows,
+                   size_t n, HistRegBin* bins) {
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t row = rows ? rows[i] : static_cast<uint32_t>(i);
+    HistRegBin& rb = bins[codes[row]];
+    const double v = y[row];
+    ++rb.n;
+    rb.sum += v;
+    rb.sum_sq += v * v;
+  }
+}
+
+}  // namespace
+
+void ClsScalar(const uint8_t* codes, const int32_t* labels,
+               const uint32_t* rows, size_t n, int c, int64_t* counts) {
+  ClsScalarImpl(codes, labels, rows, n, c, counts);
+}
+
+void ClsScalar(const uint16_t* codes, const int32_t* labels,
+               const uint32_t* rows, size_t n, int c, int64_t* counts) {
+  ClsScalarImpl(codes, labels, rows, n, c, counts);
+}
+
+void RegScalar(const uint8_t* codes, const double* y, const uint32_t* rows,
+               size_t n, HistRegBin* bins) {
+  RegScalarImpl(codes, y, rows, n, bins);
+}
+
+void RegScalar(const uint16_t* codes, const double* y, const uint32_t* rows,
+               size_t n, HistRegBin* bins) {
+  RegScalarImpl(codes, y, rows, n, bins);
+}
+
+}  // namespace histk
+}  // namespace treeserver

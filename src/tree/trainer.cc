@@ -51,12 +51,12 @@ std::shared_ptr<NodeHists> BuildNodeHists(const BinnedTable& binned,
                                           const SplitContext& ctx,
                                           const uint32_t* rows, size_t n) {
   auto hists = std::make_shared<NodeHists>(candidates.size());
+  std::vector<const BinnedColumn*> cols(candidates.size());
   for (size_t i = 0; i < candidates.size(); ++i) {
-    const BinnedColumn* bc = binned.column(candidates[i]);
-    if (bc != nullptr) {
-      (*hists)[i] = NodeHistogram::Build(*bc, target, ctx, rows, n);
-    }
+    cols[i] = binned.column(candidates[i]);  // nullptr → entry stays empty
   }
+  NodeHistogram::BuildMany(cols.data(), cols.size(), target, ctx, rows, n,
+                           hists->data());
   return hists;
 }
 

@@ -117,10 +117,26 @@ TEST(HistogramTest, PercentileEstimates) {
   for (int i = 0; i < 90; ++i) h.Add(10);   // bucket [8, 15]
   for (int i = 0; i < 10; ++i) h.Add(900);  // bucket [512, 1023]
   Histogram::Snapshot s = h.snapshot();
-  EXPECT_EQ(s.Percentile(0.5), 15u);    // upper bound of 10's bucket
-  EXPECT_EQ(s.Percentile(0.99), 900u);  // capped at the observed max
+  // Interpolated within the bucket, not snapped to its upper bound.
+  EXPECT_EQ(s.Percentile(0.5), 11u);
+  EXPECT_EQ(s.Percentile(0.99), 861u);
+  EXPECT_EQ(s.Percentile(1.0), 900u);  // p100 is the observed max
   Histogram::Snapshot empty;
   EXPECT_EQ(empty.Percentile(0.5), 0u);
+}
+
+TEST(HistogramTest, TailPercentilesStayBelowMaxOnHeavyTail) {
+  // The log-bucketed histogram's tail buckets double in width; without
+  // sub-bucket interpolation every percentile above the body collapses
+  // onto the observed max (p99 == max in the serve benchmark output).
+  Histogram h;
+  for (int i = 0; i < 985; ++i) h.Add(100);
+  for (int i = 0; i < 15; ++i) h.Add(25000 + 100 * i);  // bucket [16384, 32767]
+  Histogram::Snapshot s = h.snapshot();
+  const uint64_t p99 = s.Percentile(0.99);
+  EXPECT_GE(p99, 16384u);  // in the tail bucket
+  EXPECT_LT(p99, s.max);   // but not pinned to its end
+  EXPECT_EQ(s.Percentile(1.0), s.max);
 }
 
 TEST(PeakGaugeTest, TracksPeakUnderConcurrentAddSub) {

@@ -30,6 +30,7 @@
 #include "common/http_server.h"
 #include "common/logging.h"
 #include "common/prometheus.h"
+#include "common/simd.h"
 #include "common/trace.h"
 #include "common/trace_merge.h"
 #include "engine/checkpoint_io.h"
@@ -519,7 +520,8 @@ int RunMaster(const NodeOptions& opt) {
                std::to_string(MetricsRegistry::Global()
                                   .GetCounter("engine.fenced_msgs")
                                   ->value()) +
-               ",\"rss_bytes\":" + std::to_string(CurrentRssBytes()) + "}\n";
+               ",\"rss_bytes\":" + std::to_string(CurrentRssBytes()) + "," +
+               SimdStatusJson() + "}\n";
       });
   transport->SetPeerDeadCallback([&](int rank) {
     if (rank != kMasterRank) master.OnWorkerCrash(rank);
@@ -661,7 +663,8 @@ int RunWorker(const NodeOptions& opt) {
                std::to_string(MetricsRegistry::Global()
                                   .GetCounter("engine.fenced_msgs")
                                   ->value()) +
-               ",\"rss_bytes\":" + std::to_string(CurrentRssBytes()) + "}\n";
+               ",\"rss_bytes\":" + std::to_string(CurrentRssBytes()) + "," +
+               SimdStatusJson() + "}\n";
       });
   worker.Start();
   // The task loop exits (closing its queue) on the master's kShutdown;
